@@ -1,0 +1,243 @@
+(* Benchmark and reproduction harness.
+
+   Two halves:
+
+   1. Bechamel timing benches — one group per experiment: the Section
+      3.2 batch-GCD comparison (naive / single tree / k subsets, and
+      the k sweep behind Figure 2), plus the DESIGN.md ablations
+      (Karatsuba threshold, Burnikel-Ziegler vs Knuth division, binary
+      vs Euclidean GCD, OpenSSL-style vs plain key generation) and
+      substrate throughputs.
+
+   2. Regeneration of every table and figure of the paper, by running
+      the full pipeline on the simulated internet and printing the
+      same rows/series the paper reports.
+
+   Environment knobs:
+     WEAKKEYS_BENCH_SCALE   world scale for part 2 (default 0.15)
+     WEAKKEYS_BENCH_SKIP_TIMING / WEAKKEYS_BENCH_SKIP_REPORT *)
+
+module N = Bignum.Nat
+open Bechamel
+
+let drbg = Hashes.Drbg.create ~seed:"bench-fixtures" ()
+let gen = Hashes.Drbg.gen_fn drbg
+
+(* ---------------- fixtures ---------------- *)
+
+let nat_of_bits bits = N.random_bits gen bits
+
+let corpus ~n ~planted =
+  let shared = Bignum.Prime.generate ~gen ~bits:48 in
+  Array.init n (fun i ->
+      if planted > 0 && i mod (Stdlib.max 1 (n / planted)) = 0 then
+        N.mul shared (Bignum.Prime.generate ~gen ~bits:48)
+      else
+        N.mul
+          (Bignum.Prime.generate ~gen ~bits:48)
+          (Bignum.Prime.generate ~gen ~bits:48))
+
+let moduli_512 = lazy (corpus ~n:512 ~planted:16)
+let moduli_2048 = lazy (corpus ~n:2048 ~planted:32)
+let big_a = lazy (nat_of_bits 200_000)
+let big_b = lazy (nat_of_bits 200_000)
+let div_num = lazy (nat_of_bits 400_000)
+let div_den = lazy (nat_of_bits 150_000)
+let gcd_a = lazy (nat_of_bits 4096)
+let gcd_b = lazy (nat_of_bits 4096)
+let msg_1k = String.init 1024 (fun i -> Char.chr (i land 0xff))
+
+let with_thresholds km bz f =
+  let k0 = !N.karatsuba_threshold and b0 = !N.burnikel_ziegler_threshold in
+  N.karatsuba_threshold := km;
+  N.burnikel_ziegler_threshold := bz;
+  Fun.protect ~finally:(fun () ->
+      N.karatsuba_threshold := k0;
+      N.burnikel_ziegler_threshold := b0)
+    f
+
+(* ---------------- timing tests ---------------- *)
+
+let t name f = Test.make ~name (Staged.stage f)
+
+let batchgcd_section_3_2 =
+  (* The paper's performance claim: naive pairwise is infeasible; the
+     tree algorithm is quasilinear; the k-subset variant adds total
+     work but parallelizes. *)
+  Test.make_grouped ~name:"sec3.2-batchgcd"
+    [
+      t "naive-512" (fun () ->
+          Batchgcd.Batch_gcd.naive (Lazy.force moduli_512));
+      t "tree-512" (fun () ->
+          Batchgcd.Batch_gcd.factor_batch (Lazy.force moduli_512));
+      t "tree-2048" (fun () ->
+          Batchgcd.Batch_gcd.factor_batch (Lazy.force moduli_2048));
+      t "subsets-k16-2048-1domain" (fun () ->
+          Batchgcd.Batch_gcd.factor_subsets ~domains:1 ~k:16
+            (Lazy.force moduli_2048));
+      t "subsets-k16-2048-parallel" (fun () ->
+          Batchgcd.Batch_gcd.factor_subsets ~k:16 (Lazy.force moduli_2048));
+    ]
+
+let figure2_k_sweep =
+  Test.make_grouped ~name:"fig2-k-sweep"
+    (List.map
+       (fun k ->
+         t
+           (Printf.sprintf "subsets-k%d-2048" k)
+           (fun () ->
+             Batchgcd.Batch_gcd.factor_subsets ~domains:1 ~k
+               (Lazy.force moduli_2048)))
+       [ 1; 2; 4; 8; 16; 32 ])
+
+let ablation_multiplication =
+  Test.make_grouped ~name:"ablation-mul-threshold"
+    [
+      t "karatsuba-200kbit" (fun () ->
+          with_thresholds 24 40 (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+      t "schoolbook-200kbit" (fun () ->
+          with_thresholds max_int 40 (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+    ]
+
+let ablation_division =
+  Test.make_grouped ~name:"ablation-division"
+    [
+      t "burnikel-ziegler-400k/150k" (fun () ->
+          with_thresholds 24 40 (fun () ->
+              N.divmod (Lazy.force div_num) (Lazy.force div_den)));
+      t "knuth-400k/150k" (fun () ->
+          with_thresholds 24 max_int (fun () ->
+              N.divmod (Lazy.force div_num) (Lazy.force div_den)));
+    ]
+
+let ablation_powmod =
+  let base = lazy (nat_of_bits 255)
+  and exp = lazy (nat_of_bits 255)
+  and modulus = lazy (N.add (nat_of_bits 256) N.one) in
+  Test.make_grouped ~name:"ablation-powmod"
+    [
+      t "division-ladder-256" (fun () ->
+          N.pow_mod (Lazy.force base) (Lazy.force exp) (Lazy.force modulus));
+      t "montgomery-256" (fun () ->
+          Bignum.Montgomery.pow_mod_nat (Lazy.force base) (Lazy.force exp)
+            (Lazy.force modulus));
+    ]
+
+let ablation_gcd =
+  Test.make_grouped ~name:"ablation-gcd"
+    [
+      t "binary-4kbit" (fun () -> N.gcd (Lazy.force gcd_a) (Lazy.force gcd_b));
+      t "euclid-4kbit" (fun () ->
+          N.gcd_euclid (Lazy.force gcd_a) (Lazy.force gcd_b));
+    ]
+
+let keygen_styles =
+  Test.make_grouped ~name:"keygen"
+    [
+      t "plain-96" (fun () ->
+          Rsa.Keypair.generate ~style:Rsa.Keypair.Plain ~gen ~bits:96 ());
+      t "openssl-96" (fun () ->
+          Rsa.Keypair.generate ~style:Rsa.Keypair.Openssl ~gen ~bits:96 ());
+      t "plain-256" (fun () ->
+          Rsa.Keypair.generate ~style:Rsa.Keypair.Plain ~gen ~bits:256 ());
+    ]
+
+let substrate =
+  let tree = lazy (Batchgcd.Product_tree.build (Lazy.force moduli_2048)) in
+  let pow_base = lazy (nat_of_bits 255)
+  and pow_exp = lazy (nat_of_bits 255)
+  and pow_mod = lazy (N.add (nat_of_bits 256) N.one) in
+  Test.make_grouped ~name:"substrate"
+    [
+      t "sha256-1KiB" (fun () -> Hashes.Sha256.digest msg_1k);
+      t "drbg-64B" (fun () -> Hashes.Drbg.generate drbg 64);
+      t "product-tree-2048" (fun () ->
+          Batchgcd.Product_tree.build (Lazy.force moduli_2048));
+      t "remainder-tree-2048" (fun () ->
+          Batchgcd.Remainder_tree.remainders_mod_square (Lazy.force tree)
+            (Batchgcd.Product_tree.root (Lazy.force tree)));
+      t "pow-mod-256" (fun () ->
+          N.pow_mod (Lazy.force pow_base) (Lazy.force pow_exp)
+            (Lazy.force pow_mod));
+    ]
+
+(* ---------------- runner ---------------- *)
+
+let force_fixtures () =
+  (* Fixture generation must not be charged to the first timed run. *)
+  ignore (Lazy.force moduli_512);
+  ignore (Lazy.force moduli_2048);
+  ignore (Lazy.force big_a);
+  ignore (Lazy.force big_b);
+  ignore (Lazy.force div_num);
+  ignore (Lazy.force div_den);
+  ignore (Lazy.force gcd_a);
+  ignore (Lazy.force gcd_b)
+
+let run_timing () =
+  force_fixtures ();
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.8) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let tests =
+    [
+      batchgcd_section_3_2; figure2_k_sweep; ablation_multiplication;
+      ablation_division; ablation_powmod; ablation_gcd; keygen_styles;
+      substrate;
+    ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+      List.iter
+        (fun (name, result) ->
+          let ns =
+            match Analyze.OLS.estimates result with
+            | Some (e :: _) -> e
+            | _ -> Float.nan
+          in
+          let pretty =
+            if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "  %-42s %s/run\n%!" name pretty)
+        (List.sort compare rows))
+    tests
+
+let run_report () =
+  let scale =
+    match Sys.getenv_opt "WEAKKEYS_BENCH_SCALE" with
+    | Some s -> float_of_string s
+    | None -> 0.15
+  in
+  let cfg =
+    { Netsim.World.default_config with Netsim.World.scale; seed = "bench-world" }
+  in
+  Printf.printf
+    "\n===== paper reproduction: every table and figure (scale %.2f) =====\n%!"
+    scale;
+  let p =
+    Weakkeys.Pipeline.run
+      ~progress:(fun m -> Printf.eprintf "[bench] %s\n%!" m)
+      cfg
+  in
+  print_string (Weakkeys.Report.full_report p)
+
+let () =
+  if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_TIMING" = None then begin
+    print_endline "===== timing benches (bechamel, ns per run) =====";
+    run_timing ()
+  end;
+  if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_REPORT" = None then run_report ()

@@ -1,0 +1,282 @@
+(* The weakkeys command-line tool.
+
+   Subcommands:
+     report  - run the full study and print every table and figure
+     table   - print one of the paper's tables (1-5)
+     figure  - print one of the paper's figures (1-10)
+     factor  - batch-GCD a file of hex moduli (one per line)
+     keygen  - generate demonstration keys under an entropy profile
+     world   - build the simulated internet and print summary stats *)
+
+module N = Bignum.Nat
+let ( let* ) = Result.bind
+let _ = ( let* )
+
+open Cmdliner
+
+(* ------------- shared options ------------- *)
+
+let seed_arg =
+  let doc = "World seed; everything is a deterministic function of it." in
+  Arg.(value & opt string "weakkeys-imc16" & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc =
+    "Population scale. 1.0 is the calibrated full world (minutes of \
+     compute); 0.05 is a quick look."
+  in
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let k_arg =
+  let doc = "Subset count for the distributed batch GCD." in
+  Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc)
+
+let quiet_arg =
+  let doc = "Suppress progress output." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let config_of seed scale =
+  { Netsim.World.default_config with Netsim.World.seed; scale }
+
+let progress_of quiet =
+  if quiet then fun _ -> () else fun m -> Printf.eprintf "[weakkeys] %s\n%!" m
+
+let run_pipeline seed scale k quiet =
+  Weakkeys.Pipeline.run ~progress:(progress_of quiet) ~k (config_of seed scale)
+
+(* ------------- report ------------- *)
+
+let report_cmd =
+  let run seed scale k quiet =
+    print_string (Weakkeys.Report.full_report (run_pipeline seed scale k quiet))
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run the full study: every table and figure.")
+    Term.(const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg)
+
+(* ------------- table / figure ------------- *)
+
+let table_cmd =
+  let idx =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table 1-5.")
+  in
+  let run n seed scale k quiet =
+    if n = 2 then print_string (Weakkeys.Report.table2 ())
+    else begin
+      let p = run_pipeline seed scale k quiet in
+      let f =
+        match n with
+        | 1 -> Weakkeys.Report.table1
+        | 3 -> Weakkeys.Report.table3
+        | 4 -> Weakkeys.Report.table4
+        | 5 -> Weakkeys.Report.table5
+        | _ -> fun _ -> "no such table (1-5)\n"
+      in
+      print_string (f p)
+    end
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Print one of the paper's tables.")
+    Term.(const run $ idx $ seed_arg $ scale_arg $ k_arg $ quiet_arg)
+
+let figure_cmd =
+  let idx =
+    Arg.(
+      required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure 1-10.")
+  in
+  let run n seed scale k quiet =
+    let p = run_pipeline seed scale k quiet in
+    let f =
+      match n with
+      | 1 -> Weakkeys.Report.figure1
+      | 2 -> Weakkeys.Report.figure2
+      | 3 -> Weakkeys.Report.figure3
+      | 4 -> Weakkeys.Report.figure4
+      | 5 -> Weakkeys.Report.figure5
+      | 6 -> Weakkeys.Report.figure6
+      | 7 -> Weakkeys.Report.figure7
+      | 8 -> Weakkeys.Report.figure8
+      | 9 -> Weakkeys.Report.figure9
+      | 10 -> Weakkeys.Report.figure10
+      | _ -> fun _ -> "no such figure (1-10)\n"
+    in
+    print_string (f p)
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Print one of the paper's figures.")
+    Term.(const run $ idx $ seed_arg $ scale_arg $ k_arg $ quiet_arg)
+
+(* ------------- factor ------------- *)
+
+let factor_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"File of moduli, one per line, hex (0x optional) or decimal. \
+                Use - for stdin.")
+  in
+  let run file k =
+    let ic = if file = "-" then stdin else open_in file in
+    let moduli = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then begin
+           let n =
+             if String.length line > 2 && line.[0] = '0' && line.[1] = 'x' then
+               N.of_string line
+             else if String.exists (function 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) line
+             then N.of_string ("0x" ^ line)
+             else N.of_string line
+           in
+           moduli := n :: !moduli
+         end
+       done
+     with End_of_file -> if file <> "-" then close_in ic);
+    let arr = Batchgcd.Batch_gcd.dedup (Array.of_list (List.rev !moduli)) in
+    Printf.eprintf "[weakkeys] batch GCD over %d distinct moduli (k=%d)\n%!"
+      (Array.length arr) k;
+    let findings = Batchgcd.Batch_gcd.factor_subsets ~k arr in
+    Printf.printf "# %d of %d moduli share factors\n" (List.length findings)
+      (Array.length arr);
+    List.iter
+      (fun f ->
+        Printf.printf "%s divisor=%s\n"
+          (N.to_hex f.Batchgcd.Batch_gcd.modulus)
+          (N.to_hex f.Batchgcd.Batch_gcd.divisor))
+      findings
+  in
+  Cmd.v
+    (Cmd.info "factor" ~doc:"Batch-GCD a file of RSA moduli.")
+    Term.(const run $ file $ k_arg)
+
+(* ------------- keygen ------------- *)
+
+let keygen_cmd =
+  let count =
+    Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of keys.")
+  in
+  let bits =
+    Arg.(value & opt int 128 & info [ "bits" ] ~docv:"BITS" ~doc:"Modulus size.")
+  in
+  let entropy =
+    Arg.(
+      value & opt int 4
+      & info [ "boot-entropy" ] ~docv:"BITS"
+          ~doc:"Boot entropy bits of the simulated device (64+ = healthy).")
+  in
+  let run count bits entropy =
+    let profile =
+      if entropy >= 64 then Entropy.Device_rng.healthy "cli"
+      else Entropy.Device_rng.vulnerable_shared_prime "cli" ~bits:entropy
+    in
+    for i = 1 to count do
+      let rng =
+        Entropy.Device_rng.boot profile
+          ~device_unique:(Printf.sprintf "cli-%d" i)
+          ~boot_state:(i * 6151)
+      in
+      let k = Rsa.Keypair.generate_on_device ~rng ~bits () in
+      Printf.printf "%s\n" (N.to_hex k.Rsa.Keypair.pub.Rsa.Keypair.n)
+    done
+  in
+  Cmd.v
+    (Cmd.info "keygen"
+       ~doc:
+         "Generate device keys under an entropy profile (pipe into 'factor' \
+          to reproduce the attack).")
+    Term.(const run $ count $ bits $ entropy)
+
+(* ------------- export ------------- *)
+
+let export_cmd =
+  let out =
+    Arg.(
+      value & opt string "weakkeys-export"
+      & info [ "out" ] ~docv:"DIR" ~doc:"Output directory (created).")
+  in
+  let run seed scale k quiet out =
+    let p = run_pipeline seed scale k quiet in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    let write name content =
+      let oc = open_out (Filename.concat out name) in
+      output_string oc content;
+      close_out oc;
+      Printf.eprintf "[weakkeys] wrote %s\n%!" (Filename.concat out name)
+    in
+    write "host_records.csv"
+      (Analysis.Export.host_records_csv p.Weakkeys.Pipeline.scans);
+    write "moduli.txt" (Analysis.Export.moduli_lines p.Weakkeys.Pipeline.corpus);
+    write "findings.csv" (Analysis.Export.findings_csv p.Weakkeys.Pipeline.findings);
+    write "overall.csv"
+      (Analysis.Export.series_csv
+         (Analysis.Timeseries.overall
+            ~vulnerable:(Weakkeys.Pipeline.is_vulnerable p)
+            p.Weakkeys.Pipeline.monthly));
+    List.iter
+      (fun vendor ->
+        let fname =
+          "vendor_"
+          ^ String.map (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c) vendor
+          ^ ".csv"
+        in
+        write fname
+          (Analysis.Export.series_csv
+             (Analysis.Timeseries.vendor
+                ~label:(Weakkeys.Pipeline.vendor_of_record p)
+                ~vulnerable:(Weakkeys.Pipeline.is_vulnerable p)
+                p.Weakkeys.Pipeline.monthly vendor)))
+      [ "Juniper"; "Innominate"; "IBM"; "Cisco"; "HP"; "Technicolor"; "AVM";
+        "Linksys"; "Fortinet"; "ZyXEL"; "Dell"; "Kronos"; "Xerox"; "McAfee";
+        "TP-Link"; "ADTRAN"; "D-Link"; "Huawei"; "Sangfor"; "Schmid Telecom" ]
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Run the study and export records, moduli, findings and series \
+             as CSV/text files.")
+    Term.(const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg $ out)
+
+(* ------------- world ------------- *)
+
+let world_cmd =
+  let run seed scale quiet =
+    let w = Netsim.World.build ~progress:(progress_of quiet) (config_of seed scale) in
+    let devs = Netsim.World.devices w in
+    Printf.printf "devices ever: %d\n" (Array.length devs);
+    Printf.printf "distinct TLS moduli: %d\n"
+      (Array.length (Netsim.World.all_tls_moduli w));
+    let truth = Netsim.World.factorable_ground_truth w in
+    let weak =
+      Array.fold_left
+        (fun acc m -> if truth m then acc + 1 else acc)
+        0
+        (Netsim.World.all_tls_moduli w)
+    in
+    Printf.printf "ground-truth factorable moduli: %d\n" weak;
+    let per_model = Hashtbl.create 32 in
+    Array.iter
+      (fun d ->
+        let id = d.Netsim.World.model.Netsim.Device_model.id in
+        Hashtbl.replace per_model id
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_model id)))
+      devs;
+    Hashtbl.fold (fun id n acc -> (id, n) :: acc) per_model []
+    |> List.sort compare
+    |> List.iter (fun (id, n) -> Printf.printf "  %-20s %6d\n" id n)
+  in
+  Cmd.v
+    (Cmd.info "world" ~doc:"Build the simulated internet and print stats.")
+    Term.(const run $ seed_arg $ scale_arg $ quiet_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Weak Keys Remain Widespread in Network Devices' (IMC \
+     2016)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "weakkeys" ~version:"1.0.0" ~doc)
+          [ report_cmd; table_cmd; figure_cmd; factor_cmd; keygen_cmd; world_cmd;
+            export_cmd ]))

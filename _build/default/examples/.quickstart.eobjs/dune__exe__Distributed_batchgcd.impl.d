@@ -1,0 +1,1 @@
+examples/distributed_batchgcd.ml: Array Batchgcd Bignum Hashes List Printf Stdlib Sys Unix

@@ -1,0 +1,1 @@
+examples/heartbleed_event.ml: Analysis Array Float List Netsim Printf Sys Weakkeys X509lite

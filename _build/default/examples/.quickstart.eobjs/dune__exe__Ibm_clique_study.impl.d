@@ -1,0 +1,1 @@
+examples/ibm_clique_study.ml: Array Batchgcd Bignum Fingerprint Hashes List Printf Rsa String

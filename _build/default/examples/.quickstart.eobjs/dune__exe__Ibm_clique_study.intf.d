@@ -1,0 +1,1 @@
+examples/ibm_clique_study.mli:

@@ -1,0 +1,1 @@
+examples/openssl_fingerprint_demo.ml: Array Batchgcd Bignum Entropy Fingerprint Float Hashes List Printf Rsa

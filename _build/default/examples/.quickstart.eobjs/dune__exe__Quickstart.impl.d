@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Batchgcd Bignum Entropy List Printf Rsa String

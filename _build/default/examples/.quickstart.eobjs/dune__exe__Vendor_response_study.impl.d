@@ -1,0 +1,1 @@
+examples/vendor_response_study.ml: Analysis Array List Netsim Printf Sys Weakkeys X509lite

@@ -1,0 +1,67 @@
+(* Heartbleed event study (paper Sections 1, 4.1-4.2): the single
+   largest drop in the vulnerable population coincides with the April
+   2014 Heartbleed disclosure — not with any weak-key advisory. This
+   example locates the drop per vendor and measures how much of the
+   total population disappeared with it.
+
+   Run: dune exec examples/heartbleed_event.exe [scale] *)
+
+module Date = X509lite.Date
+module P = Weakkeys.Pipeline
+module Ts = Analysis.Timeseries
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.1
+  in
+  let cfg =
+    {
+      Netsim.World.default_config with
+      Netsim.World.scale;
+      seed = "heartbleed-study";
+    }
+  in
+  Printf.printf "building world at scale %.2f...\n%!" scale;
+  let p = P.run ~progress:(fun m -> Printf.printf "  %s\n%!" m) cfg in
+
+  let overall = Ts.overall ~vulnerable:(P.is_vulnerable p) p.P.monthly in
+  (match Ts.largest_vulnerable_drop overall with
+  | Some (d, k) ->
+    Printf.printf
+      "\nLargest vulnerable-host drop in the whole corpus: %d hosts,\n\
+       landing in %s %s\n" k (Date.month_label d)
+      (let y, m, _ = Date.to_ymd d in
+       if y = 2014 && (m = 4 || m = 5) then
+         "— the Heartbleed window, as in the paper"
+       else "— NOT the Heartbleed window (unexpected)")
+  | None -> print_endline "no drop found");
+
+  Printf.printf "\n%-10s %18s %18s %14s\n" "Vendor" "total 03->05/2014"
+    "vulnerable 03->05" "shock";
+  List.iter
+    (fun name ->
+      let s =
+        Ts.vendor ~label:(P.vendor_of_record p)
+          ~vulnerable:(P.is_vulnerable p) p.P.monthly name
+      in
+      match
+        ( Ts.value_at s (Date.of_ymd 2014 3 15),
+          Ts.value_at s (Date.of_ymd 2014 5 15) )
+      with
+      | Some b, Some a ->
+        let pct x y =
+          if x = 0 then "-"
+          else Printf.sprintf "-%.0f%%" (100. *. Float.of_int (x - y) /. Float.of_int x)
+        in
+        Printf.printf "%-10s %8d -> %7d %8d -> %7d %14s\n" name b.Ts.total
+          a.Ts.total b.Ts.vulnerable a.Ts.vulnerable (pct b.Ts.total a.Ts.total)
+      | _ -> Printf.printf "%-10s (no data around the event)\n" name)
+    [ "Juniper"; "HP"; "IBM"; "Cisco"; "Innominate"; "AVM" ];
+
+  print_newline ();
+  print_string (Weakkeys.Report.figure1 p);
+  print_string
+    "Reading (as in the paper): the drop is concentrated in device\n\
+     families whose HTTPS interfaces crashed or were taken offline when\n\
+     the world scanned for Heartbleed — publicity moved users where\n\
+     years of weak-key advisories had not.\n"

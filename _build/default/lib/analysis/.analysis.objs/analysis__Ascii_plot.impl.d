@@ -1,0 +1,1 @@
+lib/analysis/ascii_plot.ml: Array Buffer List Printf Stdlib String Timeseries X509lite

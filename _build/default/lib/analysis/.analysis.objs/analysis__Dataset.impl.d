@@ -1,0 +1,1 @@
+lib/analysis/dataset.ml: Array Bignum Hashtbl List Netsim Option Rsa X509lite

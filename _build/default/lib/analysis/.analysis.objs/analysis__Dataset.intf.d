@@ -1,0 +1,1 @@
+lib/analysis/dataset.mli: Bignum Hashtbl Netsim X509lite

@@ -1,0 +1,1 @@
+lib/analysis/export.ml: Array Batchgcd Bignum Buffer List Netsim Printf Rsa String Timeseries X509lite

@@ -1,0 +1,1 @@
+lib/analysis/response_correlation.ml: Array Float List Netsim Timeseries

@@ -1,0 +1,1 @@
+lib/analysis/response_correlation.mli: Bignum Netsim

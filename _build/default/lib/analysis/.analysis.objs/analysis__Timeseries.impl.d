@@ -1,0 +1,1 @@
+lib/analysis/timeseries.ml: Array Bignum List Netsim Option Rsa Stdlib X509lite

@@ -1,0 +1,1 @@
+lib/analysis/timeseries.mli: Bignum Netsim X509lite

@@ -1,0 +1,1 @@
+lib/analysis/transitions.ml: Array Fun Hashtbl List Netsim Option Rsa X509lite

@@ -1,0 +1,1 @@
+lib/analysis/transitions.mli: Bignum Netsim

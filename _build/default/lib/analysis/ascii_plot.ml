@@ -1,0 +1,76 @@
+module Date = X509lite.Date
+
+let blocks = [| " "; "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let hi = List.fold_left Stdlib.max 1 values in
+    String.concat ""
+      (List.map
+         (fun v ->
+           let idx = v * 8 / hi in
+           blocks.(Stdlib.max 0 (Stdlib.min 8 idx)))
+         values)
+
+(* Downsample or pad a point list to [width] columns. *)
+let resample width points =
+  let n = List.length points in
+  if n = 0 then []
+  else begin
+    let arr = Array.of_list points in
+    List.init (Stdlib.min width n) (fun c ->
+        arr.(c * n / Stdlib.min width n))
+  end
+
+let panel ?(height = 8) ?(width = 60) ~title points =
+  let cols = resample width points in
+  let hi = List.fold_left (fun acc (_, v) -> Stdlib.max acc v) 1 cols in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s (max %d)\n" title hi);
+  for row = height downto 1 do
+    let threshold = hi * row / height in
+    Buffer.add_string buf (Printf.sprintf "%8d |" threshold);
+    List.iter
+      (fun (_, v) -> Buffer.add_string buf (if v >= threshold then "#" else " "))
+      cols;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 10 ' ');
+  Buffer.add_string buf (String.make (List.length cols) '-');
+  Buffer.add_char buf '\n';
+  (match (cols, List.rev cols) with
+  | (d0, _) :: _, (d1, _) :: _ ->
+    Buffer.add_string buf
+      (Printf.sprintf "%10s%s .. %s\n" "" (Date.month_label d0)
+         (Date.month_label d1))
+  | _ -> ());
+  Buffer.contents buf
+
+let two_panel ?(width = 60) ~title (s : Timeseries.series) =
+  let totals =
+    List.map (fun p -> (p.Timeseries.date, p.Timeseries.total)) s.Timeseries.points
+  in
+  let vulns =
+    List.map
+      (fun p -> (p.Timeseries.date, p.Timeseries.vulnerable))
+      s.Timeseries.points
+  in
+  let heartbleed =
+    match
+      List.find_opt
+        (fun p ->
+          let y, m, _ = Date.to_ymd p.Timeseries.date in
+          y = 2014 && m = 4)
+        s.Timeseries.points
+    with
+    | Some p ->
+      Printf.sprintf "Heartbleed scan 04/2014: total=%d vulnerable=%d\n"
+        p.Timeseries.total p.Timeseries.vulnerable
+    | None -> ""
+  in
+  Printf.sprintf "== %s ==\n%s%s%s" title
+    (panel ~width ~title:"Total hosts" totals)
+    (panel ~width ~title:"Vulnerable" vulns)
+    heartbleed

@@ -1,0 +1,16 @@
+(** Terminal rendering of time series, in the two-panel style of the
+    paper's figures (total hosts above, vulnerable hosts below). *)
+
+val sparkline : int list -> string
+(** One-line rendering using the eight block glyphs; empty input gives
+    the empty string. *)
+
+val panel :
+  ?height:int -> ?width:int -> title:string ->
+  (X509lite.Date.t * int) list -> string
+(** A boxed chart: y-axis labels, one column group per point. *)
+
+val two_panel :
+  ?width:int -> title:string -> Timeseries.series -> string
+(** The figure layout: totals on top, vulnerable below, month labels
+    on the shared x-axis, with the 04/2014 Heartbleed scan marked. *)

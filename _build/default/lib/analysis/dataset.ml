@@ -1,0 +1,127 @@
+module Sc = Netsim.Scanner
+module Cert = X509lite.Certificate
+module Dn = X509lite.Dn
+module Date = X509lite.Date
+module N = Bignum.Nat
+
+let exclude_intermediates (scan : Sc.scan) =
+  (* Group records by IP; drop any record whose certificate subject is
+     the issuer of another certificate at the same address (it is an
+     intermediate, not the host certificate). *)
+  let by_ip = Hashtbl.create 1024 in
+  Array.iter
+    (fun (r : Sc.host_record) ->
+      Hashtbl.replace by_ip r.Sc.ip
+        (r :: Option.value ~default:[] (Hashtbl.find_opt by_ip r.Sc.ip)))
+    scan.Sc.records;
+  let keep = ref [] in
+  Hashtbl.iter
+    (fun _ip records ->
+      let issuers =
+        List.filter_map
+          (fun (r : Sc.host_record) ->
+            let c = r.Sc.cert in
+            if Dn.equal c.Cert.issuer c.Cert.subject then None
+            else Some (Dn.to_string c.Cert.issuer))
+          records
+      in
+      (* A record is an intermediate iff its subject is the issuer of
+         some other (non-self-signed) certificate at the same IP; the
+         detection is purely structural, no [is_intermediate] peeking. *)
+      List.iter
+        (fun (r : Sc.host_record) ->
+          let subj = Dn.to_string r.Sc.cert.Cert.subject in
+          if not (List.mem subj issuers) then keep := r :: !keep)
+        records)
+    by_ip;
+  { scan with Sc.records = Array.of_list !keep }
+
+let month_key d =
+  let y, m, _ = Date.to_ymd d in
+  (y, m)
+
+let source_priority = function
+  | Sc.Censys -> 5
+  | Sc.Rapid7 -> 4
+  | Sc.Ecosystem -> 3
+  | Sc.Pq -> 2
+  | Sc.Eff -> 1
+
+let representative_monthly scans =
+  let best = Hashtbl.create 80 in
+  List.iter
+    (fun (s : Sc.scan) ->
+      let k = month_key s.Sc.scan_date in
+      match Hashtbl.find_opt best k with
+      | Some (prev : Sc.scan)
+        when source_priority prev.Sc.scan_source
+             >= source_priority s.Sc.scan_source ->
+        ()
+      | _ -> Hashtbl.replace best k s)
+    scans;
+  Hashtbl.fold (fun _ s acc -> s :: acc) best []
+  |> List.sort (fun a b -> Date.compare a.Sc.scan_date b.Sc.scan_date)
+  |> List.map exclude_intermediates
+
+type stats = {
+  host_records : int;
+  distinct_certs : int;
+  distinct_moduli : int;
+}
+
+let fold_records f init scans =
+  List.fold_left
+    (fun acc (s : Sc.scan) -> Array.fold_left f acc s.Sc.records)
+    init scans
+
+let distinct_certs scans =
+  let seen = Hashtbl.create 4096 in
+  let out = ref [] in
+  let n =
+    fold_records
+      (fun () (r : Sc.host_record) ->
+        let fp = Cert.fingerprint r.Sc.cert in
+        if not (Hashtbl.mem seen fp) then begin
+          Hashtbl.replace seen fp ();
+          out := r.Sc.cert :: !out
+        end)
+      () scans
+  in
+  ignore n;
+  Array.of_list (List.rev !out)
+
+let distinct_moduli scans =
+  let seen = Hashtbl.create 4096 in
+  let out = ref [] in
+  fold_records
+    (fun () (r : Sc.host_record) ->
+      let k = N.to_limbs r.Sc.cert.Cert.public_key.Rsa.Keypair.n in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.replace seen k ();
+        out := r.Sc.cert.Cert.public_key.Rsa.Keypair.n :: !out
+      end)
+    () scans;
+  Array.of_list (List.rev !out)
+
+let stats_of_scans scans =
+  let host_records =
+    List.fold_left (fun acc (s : Sc.scan) -> acc + Array.length s.Sc.records)
+      0 scans
+  in
+  {
+    host_records;
+    distinct_certs = Array.length (distinct_certs scans);
+    distinct_moduli = Array.length (distinct_moduli scans);
+  }
+
+let page_title_index scans =
+  let tbl = Hashtbl.create 1024 in
+  fold_records
+    (fun () (r : Sc.host_record) ->
+      match r.Sc.page_title with
+      | Some t ->
+        let fp = Cert.fingerprint r.Sc.cert in
+        if not (Hashtbl.mem tbl fp) then Hashtbl.replace tbl fp t
+      | None -> ())
+    () scans;
+  tbl

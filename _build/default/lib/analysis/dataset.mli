@@ -1,0 +1,36 @@
+(** Corpus assembly (paper Sections 3.1 and 3.2 preprocessing):
+    certificate-chain exclusion, representative-scan selection, and
+    dataset statistics. *)
+
+val exclude_intermediates :
+  Netsim.Scanner.scan -> Netsim.Scanner.scan
+(** Reconstruct chains per IP by matching issuer and subject names and
+    keep only the lowest certificate — undoing the Rapid7 artifact of
+    reporting unchained intermediates. *)
+
+val representative_monthly :
+  Netsim.Scanner.scan list -> Netsim.Scanner.scan list
+(** One scan per calendar month, chain-excluded, choosing the highest-
+    fidelity source available that month (Censys > Rapid7 > Ecosystem
+    > P&Q > EFF), chronological. *)
+
+type stats = {
+  host_records : int;
+  distinct_certs : int;
+  distinct_moduli : int;
+}
+
+val stats_of_scans : Netsim.Scanner.scan list -> stats
+
+val distinct_moduli : Netsim.Scanner.scan list -> Bignum.Nat.t array
+(** Distinct RSA moduli over every record of the given scans, in first-
+    seen order. *)
+
+val distinct_certs :
+  Netsim.Scanner.scan list -> X509lite.Certificate.t array
+(** Distinct certificates (by fingerprint), first-seen order. *)
+
+val page_title_index :
+  Netsim.Scanner.scan list -> (string, string) Hashtbl.t
+(** cert fingerprint -> a page title observed with it, for content-
+    based fingerprinting. *)

@@ -1,0 +1,84 @@
+module Sc = Netsim.Scanner
+module Date = X509lite.Date
+module N = Bignum.Nat
+
+type point = {
+  date : Date.t;
+  source : Sc.source;
+  total : int;
+  vulnerable : int;
+}
+
+type series = { name : string; points : point list }
+
+let modulus_of (r : Sc.host_record) =
+  r.Sc.cert.X509lite.Certificate.public_key.Rsa.Keypair.n
+
+let count ~keep ~vulnerable scans name =
+  let points =
+    List.map
+      (fun (s : Sc.scan) ->
+        let total = ref 0 and vuln = ref 0 in
+        Array.iter
+          (fun (r : Sc.host_record) ->
+            if (not r.Sc.is_intermediate) && keep r then begin
+              incr total;
+              if vulnerable (modulus_of r) then incr vuln
+            end)
+          s.Sc.records;
+        {
+          date = s.Sc.scan_date;
+          source = s.Sc.scan_source;
+          total = !total;
+          vulnerable = !vuln;
+        })
+      scans
+  in
+  { name; points }
+
+let overall ~vulnerable scans =
+  count ~keep:(fun _ -> true) ~vulnerable scans "all hosts"
+
+let vendor ~label ~vulnerable scans vendor_name =
+  count
+    ~keep:(fun r -> label r = Some vendor_name)
+    ~vulnerable scans vendor_name
+
+let model ~model_label ~vulnerable scans model_id =
+  count
+    ~keep:(fun r -> model_label r = Some model_id)
+    ~vulnerable scans model_id
+
+let peak_total s =
+  List.fold_left (fun acc p -> Stdlib.max acc p.total) 0 s.points
+
+let peak_vulnerable s =
+  List.fold_left (fun acc p -> Stdlib.max acc p.vulnerable) 0 s.points
+
+let value_at s date =
+  let best = ref None in
+  List.iter
+    (fun p ->
+      let d = abs (Date.diff_days p.date date) in
+      match !best with
+      | Some (bd, _) when bd <= d -> ()
+      | _ -> if d <= 45 then best := Some (d, p))
+    s.points;
+  Option.map snd !best
+
+let largest_vulnerable_drop s =
+  let rec go prev best = function
+    | [] -> best
+    | p :: rest ->
+      let best =
+        match prev with
+        | Some q when q.vulnerable - p.vulnerable > 0 -> (
+          let drop = q.vulnerable - p.vulnerable in
+          match best with
+          | Some (_, b) when b >= drop -> best
+          | _ -> Some (p.date, drop))
+        | _ -> best
+      in
+      go (Some p) best rest
+  in
+  go None None s.points

@@ -1,0 +1,38 @@
+(** Longitudinal series: per-scan totals and vulnerable counts, whole-
+    internet or per vendor — the data behind Figures 1, 3-6 and 8-10. *)
+
+type point = {
+  date : X509lite.Date.t;
+  source : Netsim.Scanner.source;
+  total : int;  (** fingerprinted hosts in this scan *)
+  vulnerable : int;  (** of which served a factorable modulus *)
+}
+
+type series = { name : string; points : point list }
+
+val overall :
+  vulnerable:(Bignum.Nat.t -> bool) -> Netsim.Scanner.scan list -> series
+(** Total hosts and vulnerable hosts per scan (Figure 1). *)
+
+val vendor :
+  label:(Netsim.Scanner.host_record -> string option) ->
+  vulnerable:(Bignum.Nat.t -> bool) ->
+  Netsim.Scanner.scan list -> string -> series
+(** Counts restricted to records labeled with the given vendor. *)
+
+val model :
+  model_label:(Netsim.Scanner.host_record -> string option) ->
+  vulnerable:(Bignum.Nat.t -> bool) ->
+  Netsim.Scanner.scan list -> string -> series
+(** Counts restricted to a specific product line (Figure 7). *)
+
+val peak_total : series -> int
+val peak_vulnerable : series -> int
+
+val value_at : series -> X509lite.Date.t -> point option
+(** The point of the scan closest to the date (within 45 days). *)
+
+val largest_vulnerable_drop : series -> (X509lite.Date.t * int) option
+(** The scan-over-scan decrease with the largest absolute size:
+    [(date of the lower scan, size of the drop)]. The paper's
+    Heartbleed observation is that this lands on 04-05/2014. *)

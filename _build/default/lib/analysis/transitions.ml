@@ -1,0 +1,60 @@
+module Sc = Netsim.Scanner
+module Date = X509lite.Date
+
+type summary = {
+  ips_ever : int;
+  ips_vulnerable_ever : int;
+  to_ok : int;
+  to_vulnerable : int;
+  flapping : int;
+}
+
+let for_vendor ~label ~vulnerable scans vendor_name =
+  (* ip -> chronological vulnerability observations *)
+  let per_ip : (Netsim.Ipv4.t, bool list) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (s : Sc.scan) ->
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          if (not r.Sc.is_intermediate) && label r = Some vendor_name then begin
+            let v =
+              vulnerable r.Sc.cert.X509lite.Certificate.public_key.Rsa.Keypair.n
+            in
+            Hashtbl.replace per_ip r.Sc.ip
+              (v :: Option.value ~default:[] (Hashtbl.find_opt per_ip r.Sc.ip))
+          end)
+        s.Sc.records)
+    (List.sort (fun a b -> Date.compare a.Sc.scan_date b.Sc.scan_date) scans);
+  let ips_ever = ref 0
+  and vuln_ever = ref 0
+  and to_ok = ref 0
+  and to_vuln = ref 0
+  and flapping = ref 0 in
+  Hashtbl.iter
+    (fun _ip observations ->
+      let obs = List.rev observations in
+      incr ips_ever;
+      if List.exists Fun.id obs then incr vuln_ever;
+      (* Collapse runs, then count state changes. *)
+      let rec changes prev acc = function
+        | [] -> acc
+        | v :: rest ->
+          if Some v = prev then changes prev acc rest
+          else changes (Some v)
+              (match prev with None -> acc | Some p -> (p, v) :: acc)
+              rest
+      in
+      match List.rev (changes None [] obs) with
+      | [] -> ()
+      | [ (true, false) ] -> incr to_ok
+      | [ (false, true) ] -> incr to_vuln
+      | _ :: _ :: _ -> incr flapping
+      | [ _ ] -> ())
+    per_ip;
+  {
+    ips_ever = !ips_ever;
+    ips_vulnerable_ever = !vuln_ever;
+    to_ok = !to_ok;
+    to_vulnerable = !to_vuln;
+    flapping = !flapping;
+  }

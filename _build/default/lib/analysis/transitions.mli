@@ -1,0 +1,17 @@
+(** Per-IP vulnerability transitions (paper Section 4.1, Juniper):
+    across the monthly representative scans, track each IP that ever
+    served a vendor's certificate and count moves between serving a
+    vulnerable key and a non-vulnerable key. *)
+
+type summary = {
+  ips_ever : int;  (** IPs that ever served this vendor's certificate *)
+  ips_vulnerable_ever : int;
+  to_ok : int;  (** IPs with exactly one vulnerable -> ok move *)
+  to_vulnerable : int;  (** IPs with exactly one ok -> vulnerable move *)
+  flapping : int;  (** IPs with more than one transition *)
+}
+
+val for_vendor :
+  label:(Netsim.Scanner.host_record -> string option) ->
+  vulnerable:(Bignum.Nat.t -> bool) ->
+  Netsim.Scanner.scan list -> string -> summary

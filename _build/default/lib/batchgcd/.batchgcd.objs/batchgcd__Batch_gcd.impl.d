@@ -1,0 +1,1 @@
+lib/batchgcd/batch_gcd.ml: Array Bignum Hashtbl List Parallel Product_tree Remainder_tree Stdlib

@@ -1,0 +1,1 @@
+lib/batchgcd/batch_gcd.mli: Bignum

@@ -1,0 +1,1 @@
+lib/batchgcd/parallel.ml: Array Atomic Domain List Stdlib

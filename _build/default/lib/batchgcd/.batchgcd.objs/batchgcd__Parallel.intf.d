@@ -1,0 +1,1 @@
+lib/batchgcd/parallel.mli:

@@ -1,0 +1,1 @@
+lib/batchgcd/product_tree.mli: Bignum

@@ -1,0 +1,1 @@
+lib/batchgcd/remainder_tree.ml: Array Bignum Product_tree

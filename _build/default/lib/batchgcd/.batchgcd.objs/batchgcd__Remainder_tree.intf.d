@@ -1,0 +1,1 @@
+lib/batchgcd/remainder_tree.mli: Bignum Product_tree

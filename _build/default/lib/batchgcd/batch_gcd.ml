@@ -1,0 +1,128 @@
+module N = Bignum.Nat
+
+type finding = { index : int; modulus : N.t; divisor : N.t }
+
+let dedup moduli =
+  let seen = Hashtbl.create (Array.length moduli) in
+  let keep = ref [] in
+  Array.iter
+    (fun m ->
+      let key = N.to_limbs m in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        keep := m :: !keep
+      end)
+    moduli;
+  Array.of_list (List.rev !keep)
+
+let finding_of index modulus divisor =
+  if N.is_one divisor || N.is_zero divisor then None
+  else Some { index; modulus; divisor }
+
+let collect per_index_divisors moduli =
+  let out = ref [] in
+  for i = Array.length moduli - 1 downto 0 do
+    match finding_of i moduli.(i) per_index_divisors.(i) with
+    | Some f -> out := f :: !out
+    | None -> ()
+  done;
+  !out
+
+let naive moduli =
+  let n = Array.length moduli in
+  let divisors =
+    Array.init n (fun i ->
+        let m = moduli.(i) in
+        let acc = ref N.one in
+        for j = 0 to n - 1 do
+          if j <> i then acc := N.rem (N.mul !acc (N.rem moduli.(j) m)) m
+        done;
+        N.gcd m !acc)
+  in
+  collect divisors moduli
+
+let naive_pairwise_hits moduli =
+  let n = Array.length moduli in
+  let hits = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      let g = N.gcd moduli.(i) moduli.(j) in
+      if not (N.is_one g) then hits := (i, j, g) :: !hits
+    done
+  done;
+  !hits
+
+(* Divisor of leaf [m] from its own subset's remainder-mod-square:
+   z = P mod m^2 is divisible by m, and z/m = (P/m) mod m. *)
+let own_subset_component m z =
+  let y, r = N.divmod z m in
+  assert (N.is_zero r);
+  y
+
+let factor_batch moduli =
+  let n = Array.length moduli in
+  if n = 0 then []
+  else begin
+    let tree = Product_tree.build moduli in
+    let p = Product_tree.root tree in
+    let zs = Remainder_tree.remainders_mod_square tree p in
+    let divisors =
+      Array.init n (fun i ->
+          N.gcd moduli.(i) (own_subset_component moduli.(i) zs.(i)))
+    in
+    collect divisors moduli
+  end
+
+let factor_subsets ?domains ~k moduli =
+  let n = Array.length moduli in
+  if n = 0 then []
+  else begin
+    let k = Stdlib.max 1 (Stdlib.min k n) in
+    (* Contiguous split; subset s covers [starts.(s), starts.(s+1)). *)
+    let starts =
+      Array.init (k + 1) (fun s -> s * n / k)
+    in
+    let subset s = Array.sub moduli starts.(s) (starts.(s + 1) - starts.(s)) in
+    let trees =
+      Parallel.map ?domains (fun s -> Product_tree.build (subset s))
+        (Array.init k (fun s -> s))
+    in
+    let products = Array.map Product_tree.root trees in
+    (* k^2 reduction jobs: product j through tree i. Own-subset pairs
+       use the mod-square descent; cross pairs plain remainders. *)
+    let jobs =
+      Array.init (k * k) (fun idx -> (idx / k, idx mod k))
+    in
+    let job (i, j) =
+      let tree = trees.(i) in
+      let contributions =
+        if i = j then
+          Array.mapi
+            (fun l z -> own_subset_component (Product_tree.leaves tree).(l) z)
+            (Remainder_tree.remainders_mod_square tree products.(j))
+        else Remainder_tree.remainders tree products.(j)
+      in
+      (i, contributions)
+    in
+    let pieces = Parallel.map ?domains job jobs in
+    (* Merge: for global index g in subset i, the divisor is
+       gcd(m, prod over j of contribution_ij mod m) — identical to the
+       single-tree accumulation. *)
+    let acc = Array.map (fun _ -> N.one) moduli in
+    Array.iter
+      (fun (i, contributions) ->
+        Array.iteri
+          (fun l c ->
+            let g = starts.(i) + l in
+            let m = moduli.(g) in
+            acc.(g) <- N.rem (N.mul acc.(g) (N.rem c m)) m)
+          contributions)
+      pieces;
+    let divisors = Array.mapi (fun g m -> N.gcd m acc.(g)) moduli in
+    collect divisors moduli
+  end
+
+let findings_equal a b =
+  let key f = (f.index, N.to_limbs f.modulus, N.to_limbs f.divisor) in
+  let sort l = List.sort Stdlib.compare (List.map key l) in
+  sort a = sort b

@@ -1,0 +1,48 @@
+(** Batch GCD: find every modulus in a set that shares a prime factor
+    with any other, in quasilinear time (paper Section 3.2).
+
+    Three implementations with identical results:
+    - {!naive}: quadratic modular accumulation, the baseline the paper
+      calls infeasible at scale;
+    - {!factor_batch}: Bernstein product/remainder trees;
+    - {!factor_subsets}: the paper's k-subset modification that trades
+      total work (quadratic in [k]) for cluster parallelism and a
+      smaller peak tree.
+
+    Inputs are expected to be distinct; duplicates are reported with
+    the whole modulus as divisor (see {!dedup}). *)
+
+type finding = {
+  index : int;  (** position in the input array *)
+  modulus : Bignum.Nat.t;
+  divisor : Bignum.Nat.t;
+      (** [gcd (modulus, product of all other inputs)]; strictly
+          between 1 and the modulus for the classic shared-prime case,
+          equal to the modulus when every prime is shared (IBM-style
+          cliques or duplicate inputs) *)
+}
+
+val dedup : Bignum.Nat.t array -> Bignum.Nat.t array
+(** Sort-free deduplication preserving first occurrence order. *)
+
+val naive : Bignum.Nat.t array -> finding list
+(** O(n^2): for each modulus, accumulate the product of all others
+    modulo it, then one GCD. *)
+
+val naive_pairwise_hits : Bignum.Nat.t array -> (int * int * Bignum.Nat.t) list
+(** Every pair (i, j, gcd) with a nontrivial common divisor — O(n^2)
+    GCDs; useful for tests and for post-processing small flagged
+    sets. *)
+
+val factor_batch : Bignum.Nat.t array -> finding list
+(** Single product tree + remainder tree. *)
+
+val factor_subsets :
+  ?domains:int -> k:int -> Bignum.Nat.t array -> finding list
+(** The distributed variant: split the input into [k] subsets, build a
+    product per subset, and reduce every product through every
+    subset's tree ([k^2] jobs, run on a domain pool). [k] is clamped
+    to the input size. Results are identical to {!factor_batch}. *)
+
+val findings_equal : finding list -> finding list -> bool
+(** Order-insensitive comparison, for cross-implementation tests. *)

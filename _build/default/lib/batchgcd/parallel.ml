@@ -1,0 +1,35 @@
+let default_domains () = Stdlib.max 1 (Domain.recommended_domain_count ())
+
+exception Worker_failure of exn
+
+let map ?domains f jobs =
+  let domains =
+    match domains with Some d -> Stdlib.max 1 d | None -> default_domains ()
+  in
+  let n = Array.length jobs in
+  if domains = 1 || n <= 1 then Array.map f jobs
+  else begin
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    (* Work queue: each domain claims the next unclaimed index. Writes
+       go to distinct cells; Domain.join publishes them to the parent. *)
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try results.(i) <- Some (f jobs.(i))
+           with e -> Atomic.set failure (Some e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with
+    | Some e -> raise (Worker_failure e)
+    | None -> ());
+    Array.map (function Some r -> r | None -> assert false) results
+  end

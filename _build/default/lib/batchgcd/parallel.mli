@@ -1,0 +1,16 @@
+(** A minimal domain pool for the cluster variant of batch GCD. The
+    paper parallelised across 22 machines; we parallelise across OCaml
+    5 domains on one host — the algorithmic structure is identical. *)
+
+exception Worker_failure of exn
+(** Wraps the first exception raised by a job. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map f jobs] applies [f] to every element, distributing jobs over
+    [domains] domains (default {!default_domains}) with a shared
+    work-queue. [f] must be safe to run concurrently: the batch-GCD
+    jobs only read immutable big integers. Exceptions raised by [f]
+    are re-raised after all domains have joined. *)

@@ -1,0 +1,36 @@
+module N = Bignum.Nat
+
+type t = { levels : N.t array array }
+
+let build inputs =
+  if Array.length inputs = 0 then invalid_arg "Product_tree.build: empty";
+  Array.iter
+    (fun x -> if N.is_zero x then invalid_arg "Product_tree.build: zero input")
+    inputs;
+  let rec up acc level =
+    let n = Array.length level in
+    if n = 1 then List.rev (level :: acc)
+    else begin
+      let next =
+        Array.init ((n + 1) / 2) (fun i ->
+            if (2 * i) + 1 < n then N.mul level.(2 * i) level.((2 * i) + 1)
+            else level.(2 * i))
+      in
+      up (level :: acc) next
+    end
+  in
+  { levels = Array.of_list (up [] inputs) }
+
+let leaves t = t.levels.(0)
+let depth t = Array.length t.levels
+let root t = t.levels.(depth t - 1).(0)
+
+let level t k =
+  if k < 0 || k >= depth t then invalid_arg "Product_tree.level: out of range"
+  else t.levels.(k)
+
+let total_limbs t =
+  Array.fold_left
+    (fun acc lvl ->
+      Array.fold_left (fun acc n -> acc + ((N.num_bits n + 30) / 31)) acc lvl)
+    0 t.levels

@@ -1,0 +1,25 @@
+(** Binary product trees (Bernstein): level 0 holds the inputs, each
+    higher level the pairwise products, the top level the product of
+    every input. The remainder tree walks the same structure downward. *)
+
+type t
+
+val build : Bignum.Nat.t array -> t
+(** @raise Invalid_argument on an empty input or a zero modulus. *)
+
+val leaves : t -> Bignum.Nat.t array
+(** The inputs, in order (not a copy). *)
+
+val root : t -> Bignum.Nat.t
+(** The product of all inputs. *)
+
+val depth : t -> int
+(** Number of levels; a single input gives depth 1. *)
+
+val level : t -> int -> Bignum.Nat.t array
+(** [level t k] is the k-th level, 0 = leaves.
+    @raise Invalid_argument when out of range. *)
+
+val total_limbs : t -> int
+(** Sum of limb counts over every node — the paper's product trees
+    needed 70-100 GB per cluster node; this is our proxy metric. *)

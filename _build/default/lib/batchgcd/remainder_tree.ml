@@ -1,0 +1,19 @@
+module N = Bignum.Nat
+
+(* Shared descent: [reduce node r] reduces the parent remainder at a
+   node. Children index i draws from parent i/2, matching how
+   Product_tree pairs nodes upward. *)
+let descend tree ~reduce v =
+  let d = Product_tree.depth tree in
+  let top = Product_tree.level tree (d - 1) in
+  let rs = ref [| reduce top.(0) v |] in
+  for k = d - 2 downto 0 do
+    let lvl = Product_tree.level tree k in
+    rs := Array.init (Array.length lvl) (fun i -> reduce lvl.(i) !rs.(i / 2))
+  done;
+  !rs
+
+let remainders_mod_square tree v =
+  descend tree ~reduce:(fun node r -> N.rem r (N.sqr node)) v
+
+let remainders tree v = descend tree ~reduce:(fun node r -> N.rem r node) v

@@ -1,0 +1,1 @@
+lib/bignum/prime.ml: Array Bytes Lazy List Montgomery Nat

@@ -1,0 +1,1 @@
+lib/bignum/zz.ml: Format List Nat String

@@ -1,0 +1,170 @@
+(* Montgomery arithmetic over raw base-2^31 limb arrays (CIOS method,
+   Koç-Acar-Kaliski "Analyzing and Comparing Montgomery Multiplication
+   Algorithms"). The word size keeps every (carry, sum) accumulation
+   below 2^62, so native ints suffice.
+
+   Internal values are fixed-width little-endian arrays of exactly
+   [s] limbs (s = limb count of the modulus), NOT normalized Nat
+   values; conversion happens at the API boundary. *)
+
+let limb_bits = 31
+let mask = (1 lsl limb_bits) - 1
+
+type ctx = {
+  n : Nat.t;
+  nl : int array; (* modulus limbs, length s *)
+  s : int;
+  n0' : int; (* -n^-1 mod 2^31 *)
+  r2 : int array; (* R^2 mod n, as s limbs *)
+  one_mont : int array; (* R mod n, as s limbs *)
+}
+
+let fixed_limbs s x =
+  let l = Nat.to_limbs x in
+  let out = Array.make s 0 in
+  Array.blit l 0 out 0 (Stdlib.min s (Array.length l));
+  out
+
+let nat_of_limbs l = Nat.of_limbs l
+
+(* Inverse of an odd w modulo 2^31 by Newton iteration:
+   x <- x * (2 - w*x), doubling correct bits each step. *)
+let inv_mod_word w =
+  let x = ref w (* correct to 3 bits *) in
+  for _ = 1 to 5 do
+    x := !x * (2 - (w * !x)) land mask
+  done;
+  !x
+
+let create n =
+  if Nat.is_even n || Nat.compare n (Nat.of_int 3) < 0 then None
+  else begin
+    let nl_norm = Nat.to_limbs n in
+    let s = Array.length nl_norm in
+    let n0' = mask land - (inv_mod_word nl_norm.(0)) land mask in
+    let r = Nat.rem (Nat.shift_left Nat.one (s * limb_bits)) n in
+    let r2 = Nat.rem (Nat.mul r r) n in
+    Some
+      {
+        n;
+        nl = nl_norm;
+        s;
+        n0';
+        r2 = fixed_limbs s r2;
+        one_mont = fixed_limbs s r;
+      }
+  end
+
+let modulus ctx = ctx.n
+
+(* Compare t (s limbs) with n; subtract n in place when t >= n. *)
+let reduce_once ctx t =
+  let s = ctx.s in
+  let ge =
+    let rec go i =
+      if i < 0 then true
+      else if t.(i) > ctx.nl.(i) then true
+      else if t.(i) < ctx.nl.(i) then false
+      else go (i - 1)
+    in
+    go (s - 1)
+  in
+  if ge then begin
+    let borrow = ref 0 in
+    for i = 0 to s - 1 do
+      let d = t.(i) - ctx.nl.(i) - !borrow in
+      if d < 0 then begin
+        t.(i) <- d + (mask + 1);
+        borrow := 1
+      end
+      else begin
+        t.(i) <- d;
+        borrow := 0
+      end
+    done
+  end
+
+(* CIOS: t <- a*b*R^-1 mod n, result written into a fresh array. *)
+let cios ctx a b =
+  let s = ctx.s and nl = ctx.nl in
+  let t = Array.make (s + 2) 0 in
+  for i = 0 to s - 1 do
+    let bi = b.(i) in
+    let c = ref 0 in
+    for j = 0 to s - 1 do
+      let v = t.(j) + (a.(j) * bi) + !c in
+      t.(j) <- v land mask;
+      c := v lsr limb_bits
+    done;
+    let v = t.(s) + !c in
+    t.(s) <- v land mask;
+    t.(s + 1) <- v lsr limb_bits;
+    let m = t.(0) * ctx.n0' land mask in
+    let v = t.(0) + (m * nl.(0)) in
+    let c = ref (v lsr limb_bits) in
+    for j = 1 to s - 1 do
+      let v = t.(j) + (m * nl.(j)) + !c in
+      t.(j - 1) <- v land mask;
+      c := v lsr limb_bits
+    done;
+    let v = t.(s) + !c in
+    t.(s - 1) <- v land mask;
+    t.(s) <- t.(s + 1) + (v lsr limb_bits);
+    t.(s + 1) <- 0
+  done;
+  let out = Array.sub t 0 s in
+  (* t.(s) is 0 or 1 here; a set bit means out + 2^(31s) >= n, so one
+     conditional subtraction suffices because out < 2n. *)
+  if t.(s) <> 0 then begin
+    let borrow = ref 0 in
+    for i = 0 to s - 1 do
+      let d = out.(i) - ctx.nl.(i) - !borrow in
+      if d < 0 then begin
+        out.(i) <- d + (mask + 1);
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done
+  end
+  else reduce_once ctx out;
+  out
+
+let to_mont ctx x =
+  let x = Nat.rem x ctx.n in
+  nat_of_limbs (cios ctx (fixed_limbs ctx.s x) ctx.r2)
+
+let from_mont_raw ctx x =
+  let one = Array.make ctx.s 0 in
+  one.(0) <- 1;
+  cios ctx x one
+
+let from_mont ctx x = nat_of_limbs (from_mont_raw ctx (fixed_limbs ctx.s x))
+
+let mul ctx x y =
+  nat_of_limbs (cios ctx (fixed_limbs ctx.s x) (fixed_limbs ctx.s y))
+
+let pow_mod ctx b e =
+  if Nat.is_one ctx.n then Nat.zero
+  else begin
+    let nb = Nat.num_bits e in
+    if nb = 0 then Nat.rem Nat.one ctx.n
+    else begin
+      let b = fixed_limbs ctx.s (Nat.rem b ctx.n) in
+      let bm = cios ctx b ctx.r2 in
+      (* Left-to-right binary ladder in the Montgomery domain. *)
+      let acc = ref (Array.copy bm) in
+      for i = nb - 2 downto 0 do
+        acc := cios ctx !acc !acc;
+        if Nat.testbit e i then acc := cios ctx !acc bm
+      done;
+      nat_of_limbs (from_mont_raw ctx !acc)
+    end
+  end
+
+let pow_mod_nat b e m =
+  match create m with
+  | Some ctx -> pow_mod ctx b e
+  | None -> Nat.pow_mod b e m

@@ -1,0 +1,30 @@
+(** Montgomery modular arithmetic (CIOS, after Koç-Acar-Kaliski).
+
+    Exponentiation modulo an odd modulus without per-step division —
+    the workhorse under Miller-Rabin, and an ablation point against
+    the division-based {!Nat.pow_mod} (bench [ablation-powmod]). *)
+
+type ctx
+
+val create : Nat.t -> ctx option
+(** [create n] precomputes the Montgomery context for an odd modulus
+    [n >= 3]; [None] when [n] is even or too small. *)
+
+val modulus : ctx -> Nat.t
+
+val to_mont : ctx -> Nat.t -> Nat.t
+(** Map into the Montgomery domain ([x * R mod n]). The argument is
+    reduced mod [n] first. *)
+
+val from_mont : ctx -> Nat.t -> Nat.t
+
+val mul : ctx -> Nat.t -> Nat.t -> Nat.t
+(** Montgomery product of two domain values ([x * y * R^-1 mod n]). *)
+
+val pow_mod : ctx -> Nat.t -> Nat.t -> Nat.t
+(** [pow_mod ctx b e = b^e mod n], inputs and output in the normal
+    domain. [pow_mod ctx b zero = one] (for [n > 1]). *)
+
+val pow_mod_nat : Nat.t -> Nat.t -> Nat.t -> Nat.t
+(** Drop-in for {!Nat.pow_mod}: Montgomery when the modulus is odd,
+    falling back to the division-based ladder otherwise. *)

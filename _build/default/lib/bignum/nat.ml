@@ -1,0 +1,735 @@
+(* Arbitrary-precision natural numbers over base-2^31 limbs.
+
+   Representation invariant: a value is an [int array] of limbs in
+   little-endian order, each limb in [0, 2^31), with no trailing zero
+   limb. Zero is the empty array. The base is chosen so that a limb
+   product plus two limb-sized carries stays below 2^62 and therefore
+   fits in OCaml's native 63-bit [int] without overflow:
+     mask^2 + 2*mask = 2^62 - 1. *)
+
+type t = int array
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+let karatsuba_threshold = ref 24
+let burnikel_ziegler_threshold = ref 40
+
+let zero : t = [||]
+let is_zero (a : t) = Array.length a = 0
+
+(* Trim trailing zero limbs, reusing the array when already normal. *)
+let norm (a : int array) : t =
+  let n = Array.length a in
+  let rec top i = if i > 0 && a.(i - 1) = 0 then top (i - 1) else i in
+  let l = top n in
+  if l = n then a else Array.sub a 0 l
+
+(* A non-negative native int has at most 62 value bits, i.e. exactly
+   two limbs; [n lsr limb_bits <= mask] always holds. *)
+let of_int n =
+  if n < 0 then invalid_arg "Nat.of_int: negative"
+  else if n = 0 then zero
+  else if n < base then [| n |]
+  else [| n land mask; n lsr limb_bits |]
+
+let one = of_int 1
+let two = of_int 2
+
+let to_int (a : t) =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl limb_bits))
+  | _ -> None (* three normalized limbs exceed 62 bits *)
+
+let to_int_exn a =
+  match to_int a with
+  | Some i -> i
+  | None -> failwith "Nat.to_int_exn: does not fit in int"
+
+let of_limbs limbs =
+  Array.iter
+    (fun l ->
+      if l < 0 || l > mask then invalid_arg "Nat.of_limbs: limb out of range")
+    limbs;
+  norm (Array.copy limbs)
+
+let to_limbs (a : t) = Array.copy a
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+let is_one (a : t) = Array.length a = 1 && a.(0) = 1
+let is_even (a : t) = Array.length a = 0 || a.(0) land 1 = 0
+let is_odd a = not (is_even a)
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash (a : t) =
+  Array.fold_left (fun acc l -> (acc * 1000003) lxor l) 5381 a
+
+(* ------------------------------------------------------------------ *)
+(* Bit-level operations                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bits_of_limb l =
+  let rec go l acc = if l = 0 then acc else go (l lsr 1) (acc + 1) in
+  go l 0
+
+let num_bits (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0 else ((n - 1) * limb_bits) + bits_of_limb a.(n - 1)
+
+let testbit (a : t) i =
+  if i < 0 then invalid_arg "Nat.testbit: negative index"
+  else
+    let limb = i / limb_bits and off = i mod limb_bits in
+    limb < Array.length a && (a.(limb) lsr off) land 1 = 1
+
+let shift_left (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative shift"
+  else if is_zero a || k = 0 then a
+  else
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit a 0 r limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        r.(i + limbs) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      r.(la + limbs) <- !carry
+    end;
+    norm r
+
+let shift_right (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative shift"
+  else if is_zero a || k = 0 then a
+  else
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else
+      let lr = la - limbs in
+      let r = Array.make lr 0 in
+      if bits = 0 then Array.blit a limbs r 0 lr
+      else begin
+        for i = 0 to lr - 1 do
+          let lo = a.(i + limbs) lsr bits in
+          let hi =
+            if i + limbs + 1 < la then
+              (a.(i + limbs + 1) lsl (limb_bits - bits)) land mask
+            else 0
+          in
+          r.(i) <- lo lor hi
+        done
+      end;
+      norm r
+
+(* ------------------------------------------------------------------ *)
+(* Addition and subtraction                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then b
+  else if lb = 0 then a
+  else
+    let lmax = Stdlib.max la lb in
+    let r = Array.make (lmax + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to lmax - 1 do
+      let x = if i < la then a.(i) else 0
+      and y = if i < lb then b.(i) else 0 in
+      let s = x + y + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr limb_bits
+    done;
+    r.(lmax) <- !carry;
+    norm r
+
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if lb = 0 then a
+  else if compare a b < 0 then invalid_arg "Nat.sub: negative result"
+  else
+    let r = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let y = if i < lb then b.(i) else 0 in
+      let d = a.(i) - y - !borrow in
+      if d < 0 then begin
+        r.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        r.(i) <- d;
+        borrow := 0
+      end
+    done;
+    norm r
+
+let add_int a k =
+  if k < 0 then invalid_arg "Nat.add_int: negative"
+  else if k = 0 then a
+  else add a (of_int k)
+
+let sub_int a k =
+  if k < 0 then invalid_arg "Nat.sub_int: negative"
+  else if k = 0 then a
+  else sub a (of_int k)
+
+(* ------------------------------------------------------------------ *)
+(* Multiplication                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Schoolbook product of [a] and [b] into a fresh array.
+   Inner-loop bound: r + a_i*b_j + carry <= mask + mask^2 + mask
+   = 2^62 - 1, which fits in a native int. *)
+let mul_school (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let t = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- t land mask;
+        carry := t lsr limb_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    end
+  done;
+  norm r
+
+(* Split [a] at limb [k]: low part [a mod base^k], high part [a / base^k]. *)
+let split_at (a : t) k =
+  let la = Array.length a in
+  if k >= la then (a, zero)
+  else (norm (Array.sub a 0 k), norm (Array.sub a k (la - k)))
+
+let shift_limbs (a : t) k =
+  if is_zero a || k = 0 then a
+  else
+    let la = Array.length a in
+    let r = Array.make (la + k) 0 in
+    Array.blit a 0 r k la;
+    r
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if Stdlib.min la lb < !karatsuba_threshold then mul_school a b
+  else begin
+    (* Karatsuba: split both operands at half the longer length. The
+       middle product uses (a0+a1)(b0+b1) - z0 - z2, which never goes
+       negative over the naturals. *)
+    let k = (Stdlib.max la lb + 1) / 2 in
+    let a0, a1 = split_at a k and b0, b1 = split_at b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let sqr a = mul a a
+
+let mul_int (a : t) k =
+  if k < 0 then invalid_arg "Nat.mul_int: negative"
+  else if k = 0 || is_zero a then zero
+  else if k = 1 then a
+  else if k <= mask then begin
+    let la = Array.length a in
+    let r = Array.make (la + 2) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) * k) + !carry in
+      r.(i) <- t land mask;
+      carry := t lsr limb_bits
+    done;
+    r.(la) <- !carry land mask;
+    r.(la + 1) <- !carry lsr limb_bits;
+    norm r
+  end
+  else mul a (of_int k)
+
+(* ------------------------------------------------------------------ *)
+(* Division: single-limb, Knuth Algorithm D, Burnikel-Ziegler          *)
+(* ------------------------------------------------------------------ *)
+
+let divmod_int (a : t) d =
+  if d <= 0 then invalid_arg "Nat.divmod_int: divisor must be positive"
+  else if d > mask then
+    invalid_arg "Nat.divmod_int: divisor exceeds one limb"
+  else begin
+    let la = Array.length a in
+    let q = Array.make la 0 in
+    let r = ref 0 in
+    for i = la - 1 downto 0 do
+      (* !r < d <= mask, so the two-limb numerator fits in 62 bits. *)
+      let cur = (!r lsl limb_bits) lor a.(i) in
+      q.(i) <- cur / d;
+      r := cur mod d
+    done;
+    (norm q, !r)
+  end
+
+let mod_int a d = snd (divmod_int a d)
+
+(* Knuth Algorithm D (TAOCP 4.3.1). Requires len b >= 2; the caller
+   handles single-limb divisors. *)
+let divmod_knuth (a : t) (b : t) : t * t =
+  let n = Array.length b in
+  (* Normalize so the divisor's top limb has its high bit set. *)
+  let s = limb_bits - bits_of_limb b.(n - 1) in
+  let v = shift_left b s in
+  let u0 = shift_left a s in
+  let m = Array.length u0 - n in
+  if m < 0 then (zero, a)
+  else begin
+    (* Working copy of the dividend with one extra high limb. *)
+    let u = Array.make (Array.length u0 + 1) 0 in
+    Array.blit u0 0 u 0 (Array.length u0);
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) and vsnd = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+      if !qhat > mask then begin
+        qhat := mask;
+        rhat := num - (mask * vtop)
+      end;
+      let continue = ref true in
+      while
+        !continue && !rhat <= mask
+        && !qhat * vsnd > (!rhat lsl limb_bits) lor u.(j + n - 2)
+      do
+        decr qhat;
+        rhat := !rhat + vtop;
+        if !rhat > mask then continue := false
+      done;
+      (* Multiply-and-subtract qhat * v from u[j .. j+n]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let d = u.(i + j) - (p land mask) - !borrow in
+        if d < 0 then begin
+          u.(i + j) <- d + base;
+          borrow := 1
+        end
+        else begin
+          u.(i + j) <- d;
+          borrow := 0
+        end
+      done;
+      let d = u.(j + n) - !carry - !borrow in
+      if d < 0 then begin
+        (* qhat was one too large: add v back once. *)
+        u.(j + n) <- d + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let s2 = u.(i + j) + v.(i) + !c in
+          u.(i + j) <- s2 land mask;
+          c := s2 lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land mask
+      end
+      else u.(j + n) <- d;
+      q.(j) <- !qhat
+    done;
+    let r = norm (Array.sub u 0 n) in
+    (norm q, shift_right r s)
+  end
+
+(* Burnikel-Ziegler style recursive division, after Modern Computer
+   Arithmetic, Algorithm 1.8 (RecursiveDivRem). [recursive_divrem a b]
+   requires b normalized (top bit of top limb set), len a - len b = m
+   with m <= len b, and a < b * base^m. Falls back to Knuth D below the
+   threshold. *)
+let rec recursive_divrem (a : t) (b : t) : t * t =
+  let n = Array.length b in
+  let m = Array.length a - n in
+  if m <= 0 then
+    if compare a b < 0 then (zero, a) else divmod_knuth a b
+  else if m < !burnikel_ziegler_threshold then divmod_knuth a b
+  else begin
+    let k = m / 2 in
+    let b0, b1 = split_at b k in
+    (* Step 1: divide the high part of [a] by the high half of [b]. *)
+    let alo2k, ahi = split_at a (2 * k) in
+    let q1, r1 = unbalanced_divrem ahi b1 in
+    (* A' = r1 * base^2k + alo2k - q1 * b0 * base^k, with corrections
+       applied before subtracting so we stay in the naturals. *)
+    let t = ref (add (shift_limbs r1 (2 * k)) alo2k) in
+    let s = ref (shift_limbs (mul q1 b0) k) in
+    let q1 = ref q1 in
+    while compare !t !s < 0 do
+      q1 := sub !q1 one;
+      t := add !t (shift_limbs b k)
+    done;
+    let a' = sub !t !s in
+    (* Step 2: same again one level down. *)
+    let alok, ahi' = split_at a' k in
+    let q0, r0 = unbalanced_divrem ahi' b1 in
+    let t2 = ref (add (shift_limbs r0 k) alok) in
+    s := mul q0 b0;
+    let q0 = ref q0 in
+    while compare !t2 !s < 0 do
+      q0 := sub !q0 one;
+      t2 := add !t2 b
+    done;
+    let r = sub !t2 !s in
+    (add (shift_limbs !q1 k) !q0, r)
+  end
+
+(* Handle len a - len b > len b by peeling quotient blocks of len b
+   limbs from the top (MCA 1.4.4, UnbalancedDivision). *)
+and unbalanced_divrem (a : t) (b : t) : t * t =
+  let n = Array.length b in
+  let m = Array.length a - n in
+  if m <= n then recursive_divrem a b
+  else begin
+    let alo, ahi = split_at a (m - n) in
+    (* ahi has 2n limbs: one block of quotient. *)
+    let qhi, rhi = recursive_divrem ahi b in
+    let qlo, r = unbalanced_divrem (norm (add (shift_limbs rhi (m - n)) alo)) b in
+    (add (shift_limbs qhi (m - n)) qlo, r)
+  end
+
+let divmod (a : t) (b : t) : t * t =
+  let n = Array.length b in
+  if n = 0 then raise Division_by_zero
+  else if n = 1 then
+    let q, r = divmod_int a b.(0) in
+    (q, of_int r)
+  else if compare a b < 0 then (zero, a)
+  else if n < !burnikel_ziegler_threshold then divmod_knuth a b
+  else begin
+    (* Normalize for the recursive algorithm, then shift back. *)
+    let s = limb_bits - bits_of_limb b.(n - 1) in
+    let a' = shift_left a s and b' = shift_left b s in
+    let q, r = unbalanced_divrem a' b' in
+    (q, shift_right r s)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+(* ------------------------------------------------------------------ *)
+(* Powers, roots                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let pow (b : t) e =
+  if e < 0 then invalid_arg "Nat.pow: negative exponent"
+  else begin
+    let r = ref one and b = ref b and e = ref e in
+    while !e > 0 do
+      if !e land 1 = 1 then r := mul !r !b;
+      e := !e lsr 1;
+      if !e > 0 then b := sqr !b
+    done;
+    !r
+  end
+
+let sqrt (a : t) =
+  if is_zero a then zero
+  else begin
+    (* Newton iteration from an overestimate; monotonically decreasing,
+       stops at floor(sqrt a). *)
+    let x = ref (shift_left one ((num_bits a + 1) / 2)) in
+    let continue = ref true in
+    while !continue do
+      let y = shift_right (add !x (div a !x)) 1 in
+      if compare y !x < 0 then x := y else continue := false
+    done;
+    !x
+  end
+
+(* ------------------------------------------------------------------ *)
+(* GCD                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gcd_euclid a b =
+  let rec go a b = if is_zero b then a else go b (rem a b) in
+  if compare a b >= 0 then go a b else go b a
+
+let trailing_zeros (a : t) =
+  let rec limb i = if a.(i) = 0 then limb (i + 1) else i in
+  if is_zero a then 0
+  else
+    let i = limb 0 in
+    let rec bit l c = if l land 1 = 1 then c else bit (l lsr 1) (c + 1) in
+    (i * limb_bits) + bit a.(i) 0
+
+let gcd a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    (* One Euclidean step first to balance very unequal sizes, then
+       the binary (Stein) loop which needs only shifts and subtraction. *)
+    let a, b = if compare a b >= 0 then (a, b) else (b, a) in
+    let a = rem a b in
+    if is_zero a then b
+    else begin
+      let za = trailing_zeros a and zb = trailing_zeros b in
+      let common = Stdlib.min za zb in
+      let a = ref (shift_right a za) and b = ref (shift_right b zb) in
+      while not (is_zero !b) do
+        if compare !a !b > 0 then begin
+          let t = !a in
+          a := !b;
+          b := t
+        end;
+        b := sub !b !a;
+        if not (is_zero !b) then b := shift_right !b (trailing_zeros !b)
+      done;
+      shift_left !a common
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Modular arithmetic                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pow_mod (b : t) (e : t) (m : t) =
+  if is_zero m then raise Division_by_zero
+  else if is_one m then zero
+  else begin
+    let nb = num_bits e in
+    let r = ref one and b = ref (rem b m) in
+    for i = 0 to nb - 1 do
+      if testbit e i then r := rem (mul !r !b) m;
+      if i < nb - 1 then b := rem (sqr !b) m
+    done;
+    !r
+  end
+
+let invert_mod (a : t) (m : t) =
+  if is_zero m || is_one m then None
+  else begin
+    (* Extended Euclid tracking only the coefficient of [a], with signs
+       carried explicitly: old_s * a = old_r (mod m). *)
+    let old_r = ref (rem a m) and r = ref m in
+    let old_s = ref one and s = ref zero in
+    let old_neg = ref false and neg = ref false in
+    while not (is_zero !r) do
+      let q, rr = divmod !old_r !r in
+      old_r := !r;
+      r := rr;
+      (* new_s = old_s - q * s, in signed arithmetic *)
+      let qs = mul q !s in
+      let ns, nneg =
+        if !old_neg = !neg then
+          if compare !old_s qs >= 0 then (sub !old_s qs, !old_neg)
+          else (sub qs !old_s, not !old_neg)
+        else (add !old_s qs, !old_neg)
+      in
+      old_s := !s;
+      old_neg := !neg;
+      s := ns;
+      neg := nneg
+    done;
+    if not (is_one !old_r) then None
+    else
+      let x = rem !old_s m in
+      if is_zero x then Some x
+      else if !old_neg then Some (sub m x)
+      else Some x
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conversions: strings and bytes                                      *)
+(* ------------------------------------------------------------------ *)
+
+let of_bytes_be s =
+  let n = String.length s in
+  let nlimbs = ((n * 8) / limb_bits) + 1 in
+  let r = Array.make nlimbs 0 in
+  let acc = ref 0 and nbits = ref 0 and li = ref 0 in
+  for i = n - 1 downto 0 do
+    acc := !acc lor (Char.code s.[i] lsl !nbits);
+    nbits := !nbits + 8;
+    if !nbits >= limb_bits then begin
+      r.(!li) <- !acc land mask;
+      incr li;
+      acc := !acc lsr limb_bits;
+      nbits := !nbits - limb_bits
+    end
+  done;
+  if !acc <> 0 then r.(!li) <- !acc;
+  norm r
+
+let to_bytes_be (a : t) =
+  let nb = num_bits a in
+  if nb = 0 then ""
+  else begin
+    let nbytes = (nb + 7) / 8 in
+    let buf = Bytes.make nbytes '\000' in
+    let byte_at k =
+      (* byte k counts from the least-significant end *)
+      let bit = k * 8 in
+      let limb = bit / limb_bits and off = bit mod limb_bits in
+      let lo = a.(limb) lsr off in
+      let hi =
+        if off > limb_bits - 8 && limb + 1 < Array.length a then
+          a.(limb + 1) lsl (limb_bits - off)
+        else 0
+      in
+      (lo lor hi) land 0xff
+    in
+    for k = 0 to nbytes - 1 do
+      Bytes.set buf (nbytes - 1 - k) (Char.chr (byte_at k))
+    done;
+    Bytes.to_string buf
+  end
+
+let hex_digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Nat.of_string: bad hex digit"
+
+let of_hex_body s start =
+  let acc = ref zero in
+  for i = start to String.length s - 1 do
+    if s.[i] <> '_' then acc := add_int (mul_int !acc 16) (hex_digit s.[i])
+  done;
+  !acc
+
+let chunk_base = 1_000_000_000 (* 10^9 per decimal chunk *)
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Nat.of_string: empty"
+  else if n >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    of_hex_body s 2
+  else begin
+    let acc = ref zero and chunk = ref 0 and ndig = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | '0' .. '9' ->
+          chunk := (!chunk * 10) + (Char.code c - Char.code '0');
+          incr ndig;
+          if !ndig = 9 then begin
+            acc := add_int (mul_int !acc chunk_base) !chunk;
+            chunk := 0;
+            ndig := 0
+          end
+        | '_' -> ()
+        | _ -> invalid_arg "Nat.of_string: bad decimal digit")
+      s;
+    if !ndig > 0 then begin
+      let scale =
+        let rec go p k = if k = 0 then p else go (p * 10) (k - 1) in
+        go 1 !ndig
+      in
+      acc := add_int (mul_int !acc scale) !chunk
+    end;
+    !acc
+  end
+
+let to_string (a : t) =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_int !cur chunk_base in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let to_hex (a : t) =
+  if is_zero a then "0"
+  else begin
+    let nb = num_bits a in
+    let ndig = (nb + 3) / 4 in
+    let buf = Buffer.create ndig in
+    for k = ndig - 1 downto 0 do
+      let bit = k * 4 in
+      let limb = bit / limb_bits and off = bit mod limb_bits in
+      let lo = a.(limb) lsr off in
+      let hi =
+        if off > limb_bits - 4 && limb + 1 < Array.length a then
+          a.(limb + 1) lsl (limb_bits - off)
+        else 0
+      in
+      Buffer.add_char buf "0123456789abcdef".[(lo lor hi) land 0xf]
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+(* ------------------------------------------------------------------ *)
+(* Randomness                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let random_bits gen n =
+  if n < 0 then invalid_arg "Nat.random_bits: negative"
+  else if n = 0 then zero
+  else begin
+    let nbytes = (n + 7) / 8 in
+    let s = gen nbytes in
+    if String.length s <> nbytes then
+      invalid_arg "Nat.random_bits: generator returned wrong length";
+    let extra = (nbytes * 8) - n in
+    let b = Bytes.of_string s in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land (0xff lsr extra)));
+    of_bytes_be (Bytes.to_string b)
+  end
+
+let random_below gen bound =
+  if is_zero bound then invalid_arg "Nat.random_below: zero bound"
+  else begin
+    let n = num_bits bound in
+    let rec draw () =
+      let x = random_bits gen n in
+      if compare x bound < 0 then x else draw ()
+    in
+    draw ()
+  end
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

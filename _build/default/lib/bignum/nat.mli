@@ -1,0 +1,155 @@
+(** Arbitrary-precision natural numbers.
+
+    Values are immutable. The representation is a little-endian array of
+    31-bit limbs (base [2^31]) with no trailing zero limb, so that limb
+    products fit comfortably in OCaml's 63-bit native integers.
+
+    This module exists because the reproduction container has no zarith /
+    GMP binding; it provides everything the batch-GCD pipeline needs:
+    schoolbook and Karatsuba multiplication, Knuth Algorithm-D and
+    Burnikel-Ziegler division, binary and Euclidean GCD, and modular
+    exponentiation. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+
+(** {1 Construction and conversion} *)
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative native integer.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_int : t -> int option
+(** [to_int n] is [Some i] when [n] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit. *)
+
+val of_limbs : int array -> t
+(** Build from little-endian base-[2^31] limbs; copies and normalizes.
+    @raise Invalid_argument on out-of-range limbs. *)
+
+val to_limbs : t -> int array
+(** Little-endian limbs, no trailing zero. [to_limbs zero = [||]]. *)
+
+val of_string : string -> t
+(** Decimal, or hexadecimal with a ["0x"] prefix. Underscores allowed.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val to_hex : t -> string
+(** Lowercase hexadecimal, no prefix, ["0"] for zero. *)
+
+val of_bytes_be : string -> t
+(** Interpret a byte string as a big-endian unsigned integer. *)
+
+val to_bytes_be : t -> string
+(** Minimal-length big-endian bytes; [""] for zero. *)
+
+(** {1 Comparison and predicates} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+(** {1 Bit-level operations} *)
+
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+val add_int : t -> int -> t
+
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val sub_int : t -> int -> t
+
+val mul : t -> t -> t
+(** Schoolbook below [karatsuba_threshold] limbs, Karatsuba above. *)
+
+val mul_int : t -> int -> t
+val sqr : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r] and [0 <= r < b].
+    Knuth Algorithm D below [burnikel_ziegler_threshold] limbs in the
+    divisor, Burnikel-Ziegler recursive division above.
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+val divmod_int : t -> int -> t * int
+val mod_int : t -> int -> int
+
+val pow : t -> int -> t
+(** [pow b e] with a non-negative native exponent. *)
+
+val sqrt : t -> t
+(** Integer square root (floor). *)
+
+(** {1 Number theory} *)
+
+val gcd : t -> t -> t
+(** Binary (Stein) GCD with a Euclidean first step for unbalanced sizes. *)
+
+val gcd_euclid : t -> t -> t
+(** Pure Euclidean GCD, kept for the ablation bench. *)
+
+val pow_mod : t -> t -> t -> t
+(** [pow_mod b e m] is [b^e mod m]. @raise Division_by_zero if [m] is 0. *)
+
+val invert_mod : t -> t -> t option
+(** [invert_mod a m] is [Some x] with [a*x = 1 (mod m)] when
+    [gcd a m = 1]. *)
+
+(** {1 Randomness}
+
+    Sampling is driven by an explicit byte generator so device-RNG
+    simulations control every bit that enters key generation. *)
+
+val random_bits : (int -> string) -> int -> t
+(** [random_bits gen n]: [gen k] must return [k] uniform random bytes;
+    the result is uniform in [\[0, 2^n)]. *)
+
+val random_below : (int -> string) -> t -> t
+(** Uniform in [\[0, bound)] by rejection sampling.
+    @raise Invalid_argument if the bound is zero. *)
+
+(** {1 Tuning} *)
+
+val karatsuba_threshold : int ref
+val burnikel_ziegler_threshold : int ref
+
+val pp : Format.formatter -> t -> unit
+
+(** Infix operators, meant to be used via [Nat.Infix]. *)
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,246 @@
+(* Primality testing and prime generation.
+
+   The 2048-entry small-prime table mirrors the sieve OpenSSL applies
+   during key generation; its reach (primes up to 17863) is what the
+   Mironov fingerprint keys on. *)
+
+let sieve_up_to limit =
+  let is_comp = Bytes.make (limit + 1) '\000' in
+  let primes = ref [] in
+  let count = ref 0 in
+  for i = 2 to limit do
+    if Bytes.get is_comp i = '\000' then begin
+      primes := i :: !primes;
+      incr count;
+      let j = ref (i * i) in
+      while !j <= limit do
+        Bytes.set is_comp !j '\001';
+        j := !j + i
+      done
+    end
+  done;
+  Array.of_list (List.rev !primes)
+
+(* The 2048th prime is 17863; sieve a little past it. *)
+let all_small_primes = lazy (sieve_up_to 20000)
+
+let first_n_primes n =
+  let all = Lazy.force all_small_primes in
+  if n <= Array.length all then Array.sub all 0 n
+  else begin
+    (* Grow the sieve geometrically until enough primes are found. *)
+    let rec grow limit =
+      let s = sieve_up_to limit in
+      if Array.length s >= n then Array.sub s 0 n else grow (limit * 2)
+    in
+    grow 40000
+  end
+
+let small_primes = Array.sub (Lazy.force all_small_primes) 0 2048
+
+let is_small_prime n =
+  if n < 2 then false
+  else begin
+    let rec go i =
+      if i * i > n then true else if n mod i = 0 then false else go (i + 2)
+    in
+    if n = 2 then true else if n mod 2 = 0 then false else go 3
+  end
+
+let trial_division n =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun p ->
+         if Nat.mod_int n p = 0 && not (Nat.equal n (Nat.of_int p)) then begin
+           found := Some p;
+           raise Exit
+         end)
+       small_primes
+   with Exit -> ());
+  !found
+
+(* Miller-Rabin witness test: [n] odd, [n > 3], [n - 1 = d * 2^s].
+   Exponentiation goes through a shared Montgomery context — the
+   modulus is odd by construction. *)
+let witness_composite ctx n d s a =
+  let x = Montgomery.pow_mod ctx a d in
+  let n1 = Nat.sub n Nat.one in
+  if Nat.is_one x || Nat.equal x n1 then false
+  else begin
+    let rec squares i x =
+      if i >= s - 1 then true
+      else
+        let x = Nat.rem (Nat.sqr x) n in
+        if Nat.equal x n1 then false else squares (i + 1) x
+    in
+    squares 0 x
+  end
+
+let fixed_bases = [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 |]
+
+let is_probable_prime ?gen ?(rounds = 16) n =
+  match Nat.to_int n with
+  | Some i when i < 2 -> false
+  | Some i when i <= 37 -> is_small_prime i
+  | _ ->
+    if Nat.is_even n then false
+    else begin
+      let n1 = Nat.sub n Nat.one in
+      let s = ref 0 and d = ref n1 in
+      while Nat.is_even !d do
+        d := Nat.shift_right !d 1;
+        incr s
+      done;
+      let d = !d and s = !s in
+      let ctx =
+        match Montgomery.create n with
+        | Some ctx -> ctx
+        | None -> assert false (* n odd and > 37 here *)
+      in
+      let composite = ref false in
+      (try
+         Array.iter
+           (fun a ->
+             (* Skip bases that equal or exceed n (tiny n handled above). *)
+             let a = Nat.of_int a in
+             if Nat.compare a n1 < 0 && witness_composite ctx n d s a then begin
+               composite := true;
+               raise Exit
+             end)
+           fixed_bases
+       with Exit -> ());
+      if !composite then false
+      else begin
+        match gen with
+        | None -> true
+        | Some gen ->
+          let rec extra k =
+            if k = 0 then true
+            else begin
+              let a =
+                Nat.add (Nat.random_below gen (Nat.sub n1 Nat.two)) Nat.two
+              in
+              if witness_composite ctx n d s a then false else extra (k - 1)
+            end
+          in
+          extra rounds
+      end
+    end
+
+let candidate_of_bits gen bits =
+  if bits < 2 then invalid_arg "Prime.generate: need at least 2 bits"
+  else begin
+    let x = Nat.random_bits gen bits in
+    (* Force the top two bits (so a product of two such primes has
+       exactly twice the bit length, as OpenSSL does for RSA) and the
+       bottom bit (odd). *)
+    let set x i = if Nat.testbit x i then x else Nat.add x (Nat.shift_left Nat.one i) in
+    let x = set x (bits - 1) in
+    let x = if bits >= 3 then set x (bits - 2) else x in
+    if Nat.is_even x then Nat.add x Nat.one else x
+  end
+
+let quick_composite n =
+  (* Cheap small-prime filter before Miller-Rabin. *)
+  match trial_division n with Some _ -> true | None -> false
+
+(* Incremental sieve search, as OpenSSL's probable_prime does it: draw
+   a random odd start, compute its residue modulo each sieve prime
+   once, then walk the candidate by +2 updating residues with native
+   arithmetic. [fingerprint] additionally requires that no sieve prime
+   other than 2 divides candidate - 1 (the Mironov property).
+   [max_steps] bounds the walk so the exact-bit-size guarantee is not
+   eroded; on exhaustion a fresh start is drawn. *)
+let sieve_search ~gen ~bits ~fingerprint =
+  let nprimes = Array.length small_primes in
+  let rec from_start () =
+    let c0 = candidate_of_bits gen bits in
+    let residues =
+      Array.map (fun p -> Nat.mod_int c0 p) small_primes
+    in
+    let tiny = Nat.num_bits c0 <= 16 in
+    let c0_int = if tiny then Nat.to_int_exn c0 else 0 in
+    let max_steps = 1 lsl 14 in
+    let rec step k =
+      if k >= max_steps then from_start ()
+      else begin
+        let ok = ref true in
+        let i = ref 1 (* small_primes.(0) = 2; candidates are odd *) in
+        while !ok && !i < nprimes do
+          let p = small_primes.(!i) in
+          let r = (residues.(!i) + (2 * k)) mod p in
+          if r = 0 && not (tiny && c0_int + (2 * k) = p) then ok := false
+          else if fingerprint && r = 1 then ok := false;
+          incr i
+        done;
+        if not !ok then step (k + 1)
+        else begin
+          let c = Nat.add_int c0 (2 * k) in
+          if Nat.num_bits c <> bits then from_start ()
+          else if is_probable_prime c then c
+          else step (k + 1)
+        end
+      end
+    in
+    step 0
+  in
+  from_start ()
+
+let generate ~gen ~bits =
+  if bits <= 16 then begin
+    (* Tiny sizes: rejection sampling is simpler and exact. *)
+    let rec draw () =
+      let c = candidate_of_bits gen bits in
+      if is_probable_prime c then c else draw ()
+    in
+    draw ()
+  end
+  else sieve_search ~gen ~bits ~fingerprint:false
+
+let satisfies_openssl_fingerprint p =
+  (* OpenSSL's probable_prime() rejects candidates with
+     p mod primes[i] <= 1 for i >= 1, i.e. it skips 2 (p - 1 is always
+     even) and tests the odd primes of its 2048-entry table. *)
+  let p1 = Nat.sub p Nat.one in
+  let ok = ref true in
+  (try
+     Array.iter
+       (fun q ->
+         if q <> 2 && Nat.mod_int p1 q = 0 then begin
+           ok := false;
+           raise Exit
+         end)
+       small_primes
+   with Exit -> ());
+  !ok
+
+let generate_openssl_style ~gen ~bits =
+  if bits <= 16 then begin
+    let rec draw () =
+      let c = candidate_of_bits gen bits in
+      if satisfies_openssl_fingerprint c && is_probable_prime c then c
+      else draw ()
+    in
+    draw ()
+  end
+  else sieve_search ~gen ~bits ~fingerprint:true
+
+let is_safe_prime ?gen p =
+  is_probable_prime ?gen p
+  && is_probable_prime ?gen (Nat.shift_right (Nat.sub p Nat.one) 1)
+
+let next_prime n =
+  let start =
+    if Nat.compare n Nat.two < 0 then Nat.two
+    else if Nat.is_even n then Nat.add n Nat.one
+    else Nat.add n Nat.two
+  in
+  if Nat.equal start Nat.two then Nat.two
+  else begin
+    let rec go c =
+      if (not (quick_composite c)) && is_probable_prime c then c
+      else go (Nat.add c Nat.two)
+    in
+    go start
+  end

@@ -1,0 +1,42 @@
+(** Primality testing and prime generation over {!Nat}. *)
+
+val small_primes : int array
+(** The first 2048 primes, as used by OpenSSL's trial-division sieve
+    (the basis of the Mironov OpenSSL prime fingerprint). *)
+
+val first_n_primes : int -> int array
+(** [first_n_primes n] returns the first [n] primes. *)
+
+val is_small_prime : int -> bool
+(** Trial-division primality for native ints (exact). *)
+
+val trial_division : Nat.t -> int option
+(** [trial_division n] is [Some p] for the smallest prime [p] from
+    {!small_primes} dividing [n], when one exists and [n <> p]. *)
+
+val is_probable_prime : ?gen:(int -> string) -> ?rounds:int -> Nat.t -> bool
+(** Miller-Rabin. Always runs the first 12 prime bases (deterministic
+    below 3.3e24); when [gen] is supplied, adds [rounds] (default 16)
+    random bases drawn from it. *)
+
+val generate : gen:(int -> string) -> bits:int -> Nat.t
+(** Uniform random probable prime with exactly [bits] bits (top bit
+    forced) using the plain rejection method: draw odd candidates until
+    one passes {!is_probable_prime}. This is the [not-OpenSSL]
+    generation style in the paper's fingerprint taxonomy. *)
+
+val generate_openssl_style : gen:(int -> string) -> bits:int -> Nat.t
+(** OpenSSL-style generation: additionally reject any candidate [p]
+    where [p - 1] is divisible by one of the first 2048 primes. Primes
+    produced here satisfy the Mironov fingerprint predicate. *)
+
+val satisfies_openssl_fingerprint : Nat.t -> bool
+(** [true] when [p - 1] is divisible by none of the first 2048 primes
+    (other than trivially); the predicate tested per-prime-factor by
+    the fingerprinting stage. *)
+
+val is_safe_prime : ?gen:(int -> string) -> Nat.t -> bool
+(** [p] prime with [(p-1)/2] also prime. *)
+
+val next_prime : Nat.t -> Nat.t
+(** Smallest probable prime strictly greater than the argument. *)

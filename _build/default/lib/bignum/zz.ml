@@ -1,0 +1,132 @@
+(* Signed integers as a sign bit over Nat magnitudes. The invariant is
+   that zero always carries [Pos], so structural equality of the
+   canonical form matches numeric equality. *)
+
+type sign = Pos | Neg
+type t = { sign : sign; mag : Nat.t }
+
+let make sign mag = if Nat.is_zero mag then { sign = Pos; mag } else { sign; mag }
+let zero = { sign = Pos; mag = Nat.zero }
+let one = { sign = Pos; mag = Nat.one }
+let minus_one = { sign = Neg; mag = Nat.one }
+let of_nat mag = { sign = Pos; mag }
+let to_nat t = match t.sign with Pos -> Some t.mag | Neg -> None
+
+let to_nat_exn t =
+  match to_nat t with
+  | Some n -> n
+  | None -> failwith "Zz.to_nat_exn: negative"
+
+let of_int i =
+  if i >= 0 then of_nat (Nat.of_int i) else make Neg (Nat.of_int (-i))
+
+let to_int t =
+  match (t.sign, Nat.to_int t.mag) with
+  | Pos, v -> v
+  | Neg, Some v -> Some (-v)
+  | Neg, None -> None
+
+let of_string s =
+  if String.length s > 0 && s.[0] = '-' then
+    make Neg (Nat.of_string (String.sub s 1 (String.length s - 1)))
+  else of_nat (Nat.of_string s)
+
+let to_string t =
+  match t.sign with
+  | Pos -> Nat.to_string t.mag
+  | Neg -> "-" ^ Nat.to_string t.mag
+
+let neg t = make (match t.sign with Pos -> Neg | Neg -> Pos) t.mag
+let abs t = t.mag
+let sign t = if Nat.is_zero t.mag then 0 else match t.sign with Pos -> 1 | Neg -> -1
+
+let compare a b =
+  match (a.sign, b.sign) with
+  | Pos, Neg -> 1
+  | Neg, Pos -> -1
+  | Pos, Pos -> Nat.compare a.mag b.mag
+  | Neg, Neg -> Nat.compare b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = b.sign then make a.sign (Nat.add a.mag b.mag)
+  else if Nat.compare a.mag b.mag >= 0 then make a.sign (Nat.sub a.mag b.mag)
+  else make b.sign (Nat.sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  make (if a.sign = b.sign then Pos else Neg) (Nat.mul a.mag b.mag)
+
+(* Euclidean division: remainder in [0, |b|). *)
+let divmod a b =
+  if Nat.is_zero b.mag then raise Division_by_zero
+  else begin
+    let q0, r0 = Nat.divmod a.mag b.mag in
+    match (a.sign, b.sign) with
+    | Pos, Pos -> (of_nat q0, of_nat r0)
+    | Pos, Neg -> (make Neg q0, of_nat r0)
+    | Neg, _ when Nat.is_zero r0 ->
+      ((match b.sign with Pos -> make Neg q0 | Neg -> of_nat q0), zero)
+    | Neg, Pos -> (make Neg (Nat.add q0 Nat.one), of_nat (Nat.sub b.mag r0))
+    | Neg, Neg -> (of_nat (Nat.add q0 Nat.one), of_nat (Nat.sub b.mag r0))
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let erem_nat a m =
+  let r = rem a (of_nat m) in
+  r.mag
+
+let egcd a b =
+  (* Iterative extended Euclid over signed coefficients. *)
+  let old_r = ref (of_nat a) and r = ref (of_nat b) in
+  let old_s = ref one and s = ref zero in
+  let old_t = ref zero and t = ref one in
+  while sign !r <> 0 do
+    let q, rr = divmod !old_r !r in
+    old_r := !r;
+    r := rr;
+    let ns = sub !old_s (mul q !s) in
+    old_s := !s;
+    s := ns;
+    let nt = sub !old_t (mul q !t) in
+    old_t := !t;
+    t := nt
+  done;
+  (to_nat_exn !old_r, !old_s, !old_t)
+
+let crt pairs =
+  let merge acc (r2, m2) =
+    match acc with
+    | None -> None
+    | Some (r1, m1) ->
+      let g, x, _ = egcd m1 m2 in
+      let d =
+        let a = of_nat r2 and b = of_nat r1 in
+        sub a b
+      in
+      let dg, drem = Nat.divmod (abs d) g in
+      if not (Nat.is_zero drem) then None
+      else begin
+        (* r = r1 + m1 * ((d / g) * x mod (m2 / g)) *)
+        let m2g = Nat.div m2 g in
+        let factor =
+          let signed = mul (make (if sign d < 0 then Neg else Pos) dg) x in
+          erem_nat signed m2g
+        in
+        let m = Nat.mul m1 m2g in
+        let r = Nat.rem (Nat.add r1 (Nat.mul m1 factor)) m in
+        Some (r, m)
+      end
+  in
+  match pairs with
+  | [] -> Some Nat.zero
+  | (r, m) :: rest -> (
+    match List.fold_left merge (Some (Nat.rem r m, m)) rest with
+    | Some (r, _) -> Some r
+    | None -> None)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,49 @@
+(** Signed arbitrary-precision integers, layered over {!Nat}.
+
+    Used by the extended-GCD / CRT helpers and anywhere a subtraction
+    can go negative. Zero is canonically non-negative. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val of_nat : Nat.t -> t
+val to_nat : t -> Nat.t option
+(** [None] when negative. *)
+
+val to_nat_exn : t -> Nat.t
+val of_int : int -> t
+val to_int : t -> int option
+val of_string : string -> t
+val to_string : t -> string
+
+val neg : t -> t
+val abs : t -> Nat.t
+val sign : t -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division: the remainder is always in [\[0, |b|)]. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val erem_nat : t -> Nat.t -> Nat.t
+(** [erem_nat a m]: the representative of [a] modulo [m] in [\[0, m)]. *)
+
+val egcd : Nat.t -> Nat.t -> Nat.t * t * t
+(** [egcd a b = (g, x, y)] with [a*x + b*y = g = gcd a b]. *)
+
+val crt : (Nat.t * Nat.t) list -> Nat.t option
+(** [crt \[(r1, m1); (r2, m2); ...\]] solves the simultaneous
+    congruences for pairwise-coprime moduli; [None] when moduli are
+    not coprime and the residues conflict. *)
+
+val pp : Format.formatter -> t -> unit

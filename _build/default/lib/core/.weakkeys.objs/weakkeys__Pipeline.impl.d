@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Analysis Array Batchgcd Bignum Fingerprint Hashtbl List Netsim Option Printf Rsa X509lite

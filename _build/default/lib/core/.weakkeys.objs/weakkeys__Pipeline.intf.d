@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Batchgcd Bignum Fingerprint Hashtbl Netsim

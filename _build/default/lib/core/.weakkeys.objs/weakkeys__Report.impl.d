@@ -1,0 +1,1 @@
+lib/core/report.ml: Analysis Array Batchgcd Bignum Buffer Fingerprint Float Hashtbl List Netsim Pipeline Printf Stdlib String X509lite

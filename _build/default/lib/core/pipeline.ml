@@ -1,0 +1,257 @@
+module N = Bignum.Nat
+module Sc = Netsim.Scanner
+module Cert = X509lite.Certificate
+module BG = Batchgcd.Batch_gcd
+module Fp = Fingerprint.Factored
+
+type t = {
+  world : Netsim.World.t;
+  scans : Sc.scan list;
+  monthly : Sc.scan list;
+  protocol_snapshots : Sc.protocol_snapshot list;
+  https_moduli : N.t array;
+  corpus : N.t array;
+  findings : BG.finding list;
+  factored : Fp.t list;
+  unrecovered : N.t list;
+  cliques : Fingerprint.Ibm_clique.clique list;
+  shared : Fingerprint.Shared_prime.t;
+  rimon : Fingerprint.Rimon.detection list;
+  vuln_index : (int array, unit) Hashtbl.t;
+  cert_label_index : (string, Fingerprint.Rules.label option) Hashtbl.t;
+  subject_label_index : (int array, string) Hashtbl.t;
+  factored_index : (int array, Fingerprint.Factored.t) Hashtbl.t;
+  clique_index : (int array, unit) Hashtbl.t;
+}
+
+let modulus_of_record (r : Sc.host_record) =
+  r.Sc.cert.Cert.public_key.Rsa.Keypair.n
+
+(* Certificates are shared across every record that observed them, and
+   the report renders dozens of series over millions of records:
+   memoize the (SHA-256) fingerprint per certificate value. *)
+let fp_cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536
+
+let cert_fingerprint c =
+  match Hashtbl.find_opt fp_cache c with
+  | Some fp -> fp
+  | None ->
+    let fp = Cert.fingerprint c in
+    Hashtbl.replace fp_cache c fp;
+    fp
+
+let limb_set moduli =
+  let tbl = Hashtbl.create (List.length moduli * 2) in
+  List.iter (fun m -> Hashtbl.replace tbl (N.to_limbs m) ()) moduli;
+  tbl
+
+(* Subject/content labels per distinct certificate fingerprint. *)
+let build_cert_labels scans =
+  let titles = Analysis.Dataset.page_title_index scans in
+  let labels : (string, Fingerprint.Rules.label option) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  List.iter
+    (fun (s : Sc.scan) ->
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          let fp = cert_fingerprint r.Sc.cert in
+          if not (Hashtbl.mem labels fp) then begin
+            let page_title = Hashtbl.find_opt titles fp in
+            Hashtbl.replace labels fp
+              (Fingerprint.Rules.of_certificate ?page_title r.Sc.cert)
+          end)
+        s.Sc.records)
+    scans;
+  labels
+
+(* Majority subject label per modulus, from the certificates that
+   carry it. *)
+let build_modulus_subject_labels scans cert_labels =
+  let votes : (int array, (string, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  List.iter
+    (fun (s : Sc.scan) ->
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          let fp = cert_fingerprint r.Sc.cert in
+          match Hashtbl.find_opt cert_labels fp with
+          | Some (Some { Fingerprint.Rules.vendor; _ }) ->
+            let k = N.to_limbs (modulus_of_record r) in
+            let tally =
+              match Hashtbl.find_opt votes k with
+              | Some t -> t
+              | None ->
+                let t = Hashtbl.create 4 in
+                Hashtbl.replace votes k t;
+                t
+            in
+            Hashtbl.replace tally vendor
+              (1 + Option.value ~default:0 (Hashtbl.find_opt tally vendor))
+          | _ -> ())
+        s.Sc.records)
+    scans;
+  let best = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun k tally ->
+      let winner =
+        Hashtbl.fold
+          (fun v c acc ->
+            match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
+          tally None
+      in
+      match winner with
+      | Some (v, _) -> Hashtbl.replace best k v
+      | None -> ())
+    votes;
+  best
+
+let of_world ?(progress = fun _ -> ()) ?(k = 16) ?domains world =
+  progress "running scan campaigns";
+  let scans = Sc.run_all world in
+  let monthly = Analysis.Dataset.representative_monthly scans in
+  let protocol_snapshots = Sc.protocol_snapshots world in
+  progress "assembling key corpus";
+  let https_moduli = Analysis.Dataset.distinct_moduli scans in
+  let other_moduli =
+    List.concat_map
+      (fun (p : Sc.protocol_snapshot) ->
+        if p.Sc.protocol = Sc.Https then []
+        else Array.to_list p.Sc.rsa_moduli)
+      protocol_snapshots
+  in
+  let corpus =
+    BG.dedup (Array.append https_moduli (Array.of_list other_moduli))
+  in
+  progress
+    (Printf.sprintf "batch GCD over %d distinct moduli (k=%d)"
+       (Array.length corpus) k);
+  let findings = BG.factor_subsets ?domains ~k corpus in
+  progress (Printf.sprintf "%d moduli factored" (List.length findings));
+  let factored, unrecovered = Fp.recover findings in
+  let cliques = Fingerprint.Ibm_clique.detect factored in
+  progress "fingerprinting implementations";
+  let cert_labels = build_cert_labels scans in
+  let subject_labels = build_modulus_subject_labels scans cert_labels in
+  (* Clique moduli with no subject label are IBM (prior knowledge from
+     the 2012 study: the nine-prime implementation is the IBM card). *)
+  let clique_members = limb_set (List.concat_map (fun c -> c.Fingerprint.Ibm_clique.moduli) cliques) in
+  let entry (f : Fp.t) =
+    let key = N.to_limbs f.Fp.modulus in
+    let label =
+      match Hashtbl.find_opt subject_labels key with
+      | Some v -> Some v
+      | None -> if Hashtbl.mem clique_members key then Some "IBM" else None
+    in
+    (f, label)
+  in
+  let entries = List.map entry factored in
+  let shared = Fingerprint.Shared_prime.build entries in
+  let rimon = Fingerprint.Rimon.detect scans in
+  let vuln_index = limb_set (List.map (fun f -> f.BG.modulus) findings) in
+  let factored_index = Hashtbl.create 1024 in
+  List.iter
+    (fun (f : Fp.t) ->
+      Hashtbl.replace factored_index (N.to_limbs f.Fp.modulus) f)
+    factored;
+  {
+    world;
+    scans;
+    monthly;
+    protocol_snapshots;
+    https_moduli;
+    corpus;
+    findings;
+    factored;
+    unrecovered;
+    cliques;
+    shared;
+    rimon;
+    vuln_index;
+    cert_label_index = cert_labels;
+    subject_label_index = subject_labels;
+    factored_index;
+    clique_index = clique_members;
+  }
+
+let run ?progress ?k ?domains config =
+  let world = Netsim.World.build ?progress config in
+  of_world ?progress ?k ?domains world
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_vulnerable t n = Hashtbl.mem t.vuln_index (N.to_limbs n)
+
+let vendor_of_record t (r : Sc.host_record) =
+  let fp = cert_fingerprint r.Sc.cert in
+  match Hashtbl.find_opt t.cert_label_index fp with
+  | Some (Some { Fingerprint.Rules.vendor; _ }) -> Some vendor
+  | _ -> begin
+    let key = N.to_limbs (modulus_of_record r) in
+    if Hashtbl.mem t.clique_index key then Some "IBM"
+    else
+      match Hashtbl.find_opt t.factored_index key with
+      | Some f -> Fingerprint.Shared_prime.label_modulus t.shared f
+      | None -> None
+  end
+
+let model_of_record t (r : Sc.host_record) =
+  let fp = cert_fingerprint r.Sc.cert in
+  match Hashtbl.find_opt t.cert_label_index fp with
+  | Some (Some { Fingerprint.Rules.model_id = Some m; _ }) -> Some m
+  | _ -> None
+
+let vulnerable_https_host_records t =
+  List.fold_left
+    (fun acc (s : Sc.scan) ->
+      Array.fold_left
+        (fun acc r ->
+          if is_vulnerable t (modulus_of_record r) then acc + 1 else acc)
+        acc s.Sc.records)
+    0 t.scans
+
+let vulnerable_https_certs t =
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (s : Sc.scan) ->
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          if is_vulnerable t (modulus_of_record r) then
+            Hashtbl.replace seen (cert_fingerprint r.Sc.cert) ())
+        s.Sc.records)
+    t.scans;
+  Hashtbl.length seen
+
+let vulnerable_by_protocol t =
+  List.map
+    (fun (p : Sc.protocol_snapshot) ->
+      let v =
+        Array.fold_left
+          (fun acc m -> if is_vulnerable t m then acc + 1 else acc)
+          0 p.Sc.rsa_moduli
+      in
+      (p.Sc.protocol, v))
+    t.protocol_snapshots
+
+let labeled_factored t =
+  List.map
+    (fun (f : Fp.t) ->
+      let key = N.to_limbs f.Fp.modulus in
+      let label =
+        match Hashtbl.find_opt t.subject_label_index key with
+        | Some v -> Some v
+        | None ->
+          if Hashtbl.mem t.clique_index key then Some "IBM"
+          else Fingerprint.Shared_prime.label_modulus t.shared f
+      in
+      (f, label))
+    t.factored
+
+let suspected_bit_errors t =
+  let bits = (Netsim.World.config t.world).Netsim.World.modulus_bits in
+  List.filter
+    (fun n -> Fingerprint.Bit_errors.suspicious ~bits n)
+    (List.map (fun f -> f.BG.modulus) t.findings)

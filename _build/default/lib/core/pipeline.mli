@@ -1,0 +1,70 @@
+(** The end-to-end study: simulate the internet, aggregate six years of
+    scans, batch-GCD the full key corpus, fingerprint implementations,
+    and expose labeled, queryable results. This is the library's main
+    entry point; {!Report} renders every table and figure from it. *)
+
+type t = {
+  world : Netsim.World.t;
+  scans : Netsim.Scanner.scan list;  (** all raw scans *)
+  monthly : Netsim.Scanner.scan list;
+      (** one representative, chain-excluded scan per month *)
+  protocol_snapshots : Netsim.Scanner.protocol_snapshot list;
+  https_moduli : Bignum.Nat.t array;  (** distinct, from HTTPS scans *)
+  corpus : Bignum.Nat.t array;
+      (** distinct moduli fed to batch GCD: HTTPS + SSH + mail *)
+  findings : Batchgcd.Batch_gcd.finding list;
+  factored : Fingerprint.Factored.t list;
+  unrecovered : Bignum.Nat.t list;
+      (** flagged moduli that did not split into two primes *)
+  cliques : Fingerprint.Ibm_clique.clique list;
+  shared : Fingerprint.Shared_prime.t;
+  rimon : Fingerprint.Rimon.detection list;
+  (* Precomputed indexes (caches; use the query functions below). *)
+  vuln_index : (int array, unit) Hashtbl.t;
+  cert_label_index : (string, Fingerprint.Rules.label option) Hashtbl.t;
+  subject_label_index : (int array, string) Hashtbl.t;
+  factored_index : (int array, Fingerprint.Factored.t) Hashtbl.t;
+  clique_index : (int array, unit) Hashtbl.t;
+}
+
+val run :
+  ?progress:(string -> unit) ->
+  ?k:int ->
+  ?domains:int ->
+  Netsim.World.config -> t
+(** Build the world and run the whole measurement pipeline. [k] is the
+    subset count for the distributed batch GCD (default 16, the
+    paper's value; clamped to the corpus size). *)
+
+val of_world :
+  ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
+  Netsim.World.t -> t
+(** Same, reusing an already-built world. *)
+
+(** {1 Queries} *)
+
+val is_vulnerable : t -> Bignum.Nat.t -> bool
+(** Membership in the batch-GCD-flagged modulus set. *)
+
+val vendor_of_record :
+  t -> Netsim.Scanner.host_record -> string option
+(** Full labeling: subject rules (with page content), then the IBM
+    clique, then shared-prime extrapolation. *)
+
+val model_of_record :
+  t -> Netsim.Scanner.host_record -> string option
+(** Product-line id when determinable from the subject. *)
+
+val vulnerable_https_host_records : t -> int
+val vulnerable_https_certs : t -> int
+
+val vulnerable_by_protocol :
+  t -> (Netsim.Scanner.protocol * int) list
+(** Vulnerable host counts per protocol snapshot (Table 4). *)
+
+val labeled_factored :
+  t -> (Fingerprint.Factored.t * string option) list
+(** Factored moduli with their final vendor labels. *)
+
+val suspected_bit_errors : t -> Bignum.Nat.t list
+(** Flagged moduli that are not well-formed RSA moduli. *)

@@ -1,0 +1,1 @@
+lib/entropy/device_rng.ml: Pool Printf

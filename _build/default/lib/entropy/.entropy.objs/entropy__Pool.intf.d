@@ -1,0 +1,1 @@
+lib/entropy/pool.mli:

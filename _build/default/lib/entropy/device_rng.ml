@@ -1,0 +1,69 @@
+type profile = {
+  name : string;
+  boot_entropy_bits : int;
+  mix_between_primes : bool;
+  uses_getrandom : bool;
+}
+
+let healthy name =
+  {
+    name;
+    boot_entropy_bits = 128;
+    mix_between_primes = true;
+    uses_getrandom = false;
+  }
+
+let vulnerable_shared_prime name ~bits =
+  {
+    name;
+    boot_entropy_bits = bits;
+    mix_between_primes = true;
+    uses_getrandom = false;
+  }
+
+let fully_deterministic name ~bits =
+  {
+    name;
+    boot_entropy_bits = bits;
+    mix_between_primes = false;
+    uses_getrandom = false;
+  }
+
+let patched p = { p with uses_getrandom = true }
+
+type t = {
+  profile : profile;
+  pool : Pool.t;
+  device_unique : string;
+  mutable seeded : bool;
+}
+
+(* Reduce the boot state into the profile's admissible space. Profiles
+   with >= 62 bits of boot entropy keep the full index (and mix the
+   device-unique identity at boot, making every device distinct). *)
+let boot profile ~device_unique ~boot_state =
+  if boot_state < 0 then invalid_arg "Device_rng.boot: negative boot state";
+  let pool = Pool.create () in
+  let effective =
+    if profile.boot_entropy_bits >= 62 then boot_state
+    else boot_state land ((1 lsl profile.boot_entropy_bits) - 1)
+  in
+  Pool.mix pool ~entropy_bits:profile.boot_entropy_bits
+    (Printf.sprintf "boot:%s:%d" profile.name effective);
+  if profile.boot_entropy_bits >= 62 then
+    Pool.mix pool ~entropy_bits:64 ("id:" ^ device_unique);
+  { profile; pool; device_unique; seeded = profile.boot_entropy_bits >= 62 }
+
+let gen t n = Pool.read_urandom t.pool n
+
+let note_first_prime_done t =
+  if t.profile.mix_between_primes then
+    Pool.mix t.pool ~entropy_bits:48 ("interrupt:" ^ t.device_unique)
+
+let is_blocking t = t.profile.uses_getrandom && not t.seeded
+
+let properly_seed t =
+  Pool.mix t.pool ~entropy_bits:256 ("late-entropy:" ^ t.device_unique);
+  t.seeded <- true
+
+let pool_fingerprint t = Pool.fingerprint t.pool

@@ -1,0 +1,65 @@
+(** Per-device random number generation under a boot-entropy profile.
+
+    A device boots with an entropy pool seeded from a *small* space of
+    possible boot states (the entropy hole): a profile with
+    [boot_entropy_bits = b] admits only [2^b] distinct pools at first
+    key generation. Devices of the same model that land on the same
+    boot state generate the same first prime; whether the second prime
+    also collides depends on [mix_between_primes] — the
+    time-of-day/packet-arrival entropy the paper describes trickling in
+    during key generation. *)
+
+type profile = {
+  name : string;  (** profile label, used in personalization *)
+  boot_entropy_bits : int;
+      (** log2 of the number of distinct boot states; 0 means every
+          device boots identical, large (>= 64) models a healthy RNG *)
+  mix_between_primes : bool;
+      (** when true, device-unique entropy arrives after the first
+          prime is generated, so second primes diverge — the classic
+          shared-prime pattern *)
+  uses_getrandom : bool;
+      (** post-2014 firmware: key generation blocks until the pool is
+          properly seeded, so keys are strong regardless of boot state *)
+}
+
+val healthy : string -> profile
+(** A desktop-grade profile: effectively unlimited boot entropy. *)
+
+val vulnerable_shared_prime : string -> bits:int -> profile
+(** The headless-device profile behind most of the paper's weak keys:
+    [bits] of boot entropy, divergence between primes. *)
+
+val fully_deterministic : string -> bits:int -> profile
+(** No divergence between primes either: the whole keypair is a
+    function of the boot state (the IBM nine-prime failure mode). *)
+
+val patched : profile -> profile
+(** The same hardware after a firmware update adopting getrandom(2). *)
+
+type t
+
+val boot : profile -> device_unique:string -> boot_state:int -> t
+(** Boot a device. [device_unique] models per-device identity (MAC,
+    serial) that only enters the pool when divergence applies;
+    [boot_state] indexes the boot-state space and is reduced modulo
+    [2^boot_entropy_bits].
+    @raise Invalid_argument if [boot_state] is negative. *)
+
+val gen : t -> int -> string
+(** Draw bytes, /dev/urandom-style. *)
+
+val note_first_prime_done : t -> unit
+(** Signal that the first prime has been produced; under
+    [mix_between_primes] this injects the device-unique entropy. *)
+
+val is_blocking : t -> bool
+(** Whether a getrandom(2)-style keygen would block right now (pool
+    not yet properly seeded). Patched devices wait; their keys are
+    generated only once this turns false. *)
+
+val properly_seed : t -> unit
+(** Let enough real entropy arrive to satisfy getrandom(2); models
+    the device having been up long enough before key generation. *)
+
+val pool_fingerprint : t -> string

@@ -1,0 +1,34 @@
+(* The pool is an HMAC-DRBG keyed by everything mixed so far, plus a
+   saturating entropy-credit counter. This reproduces the two Linux
+   behaviours that matter for the paper: /dev/urandom never blocks,
+   and identical mix histories give identical output streams. *)
+
+let pool_bits = 4096
+
+type t = { drbg : Hashes.Drbg.t; mutable credited : int }
+
+let create () =
+  { drbg = Hashes.Drbg.create ~seed:"linux-pool-boot-state" (); credited = 0 }
+
+let mix t ?entropy_bits input =
+  let bits =
+    match entropy_bits with Some b -> b | None -> 8 * String.length input
+  in
+  if bits < 0 then invalid_arg "Pool.mix: negative entropy credit";
+  Hashes.Drbg.reseed t.drbg input;
+  t.credited <- Stdlib.min pool_bits (t.credited + bits)
+
+let entropy_estimate t = t.credited
+let read_urandom t n = Hashes.Drbg.generate t.drbg n
+
+let read_random t n =
+  if t.credited < 8 * n then None
+  else begin
+    t.credited <- t.credited - (8 * n);
+    Some (read_urandom t n)
+  end
+
+let copy t = { drbg = Hashes.Drbg.copy t.drbg; credited = t.credited }
+
+let fingerprint t =
+  Hashes.Sha256.to_hex (Hashes.Drbg.generate (Hashes.Drbg.copy t.drbg) 16)

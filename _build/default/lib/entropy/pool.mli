@@ -1,0 +1,38 @@
+(** A model of the Linux kernel entropy pool as it behaves on headless
+    embedded devices (paper section 2.4).
+
+    The pool mixes input strings into a compressed state and serves
+    nonblocking reads in the style of [/dev/urandom]: output is always
+    produced, whether or not any real entropy has been mixed in. Two
+    pools that have mixed exactly the same inputs produce exactly the
+    same output stream — this determinism is what makes the boot-time
+    entropy hole reproducible and is the property every weak-key
+    experiment in this repository relies on. *)
+
+type t
+
+val create : unit -> t
+(** A freshly booted pool with no entropy. *)
+
+val mix : t -> ?entropy_bits:int -> string -> unit
+(** Mix input into the pool. [entropy_bits] (default: 8 bits per input
+    byte) is credited to the entropy estimate, mirroring the kernel's
+    accounting rather than any information-theoretic truth. *)
+
+val entropy_estimate : t -> int
+(** Credited entropy in bits, saturating at the pool size (4096). *)
+
+val read_urandom : t -> int -> string
+(** Nonblocking read; never fails, even from an empty pool. Reading
+    also advances the internal state, so consecutive reads differ. *)
+
+val read_random : t -> int -> string option
+(** Blocking-interface model: [None] when the entropy estimate is
+    below the requested amount, mirroring [/dev/random] semantics. *)
+
+val copy : t -> t
+(** Fork the pool state; used to model identical devices at boot. *)
+
+val fingerprint : t -> string
+(** Hex digest of the current internal state, for tests that assert
+    two pools are (or are not) in identical states. *)

@@ -1,0 +1,1 @@
+lib/fingerprint/bit_errors.mli: Bignum

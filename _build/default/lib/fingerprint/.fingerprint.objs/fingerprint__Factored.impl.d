@@ -1,0 +1,1 @@
+lib/fingerprint/factored.ml: Array Batchgcd Bignum List

@@ -1,0 +1,1 @@
+lib/fingerprint/factored.mli: Batchgcd Bignum

@@ -1,0 +1,1 @@
+lib/fingerprint/ibm_clique.ml: Bignum Factored Hashtbl List Option

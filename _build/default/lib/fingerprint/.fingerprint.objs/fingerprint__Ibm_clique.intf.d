@@ -1,0 +1,1 @@
+lib/fingerprint/ibm_clique.mli: Bignum Factored

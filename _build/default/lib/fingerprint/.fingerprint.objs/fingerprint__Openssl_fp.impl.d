@@ -1,0 +1,1 @@
+lib/fingerprint/openssl_fp.ml: Array Bignum Factored Float Hashtbl List Option

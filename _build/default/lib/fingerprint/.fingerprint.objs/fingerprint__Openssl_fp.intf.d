@@ -1,0 +1,1 @@
+lib/fingerprint/openssl_fp.mli: Bignum Factored

@@ -1,0 +1,1 @@
+lib/fingerprint/rimon.ml: Array Bignum Float Hashtbl List Netsim Option Rsa X509lite

@@ -1,0 +1,1 @@
+lib/fingerprint/rimon.mli: Bignum Netsim

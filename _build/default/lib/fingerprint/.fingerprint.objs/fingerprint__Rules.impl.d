@@ -1,0 +1,1 @@
+lib/fingerprint/rules.ml: List Netsim Option String X509lite

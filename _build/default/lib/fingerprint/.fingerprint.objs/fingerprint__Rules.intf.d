@@ -1,0 +1,1 @@
+lib/fingerprint/rules.mli: Netsim X509lite

@@ -1,0 +1,1 @@
+lib/fingerprint/shared_prime.ml: Bignum Factored Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/fingerprint/shared_prime.mli: Bignum Factored

@@ -1,0 +1,21 @@
+(** Recover full prime factorizations from batch-GCD findings.
+
+    A finding's divisor is usually a single shared prime; IBM-style
+    cliques and duplicate moduli come back with the whole modulus as
+    divisor and need pairwise GCDs within the (small) flagged set to
+    split — exactly what the paper's post-processing did. *)
+
+type t = {
+  modulus : Bignum.Nat.t;
+  p : Bignum.Nat.t;  (** smaller prime *)
+  q : Bignum.Nat.t;  (** larger prime *)
+}
+
+val recover :
+  Batchgcd.Batch_gcd.finding list -> t list * Bignum.Nat.t list
+(** [recover findings] returns the factored moduli plus the moduli that
+    could not be split into two primes — non-well-formed moduli from
+    bit errors land in the second list. *)
+
+val primes : t list -> Bignum.Nat.t list
+(** All primes, deduplicated. *)

@@ -1,0 +1,69 @@
+module N = Bignum.Nat
+
+type clique = { primes : N.t list; moduli : N.t list }
+
+(* Union-find over primes; each factored modulus unions its two
+   primes. A component is a tiny-pool clique when several moduli have
+   BOTH primes shared with other component members — in the shared-
+   first-prime pattern every modulus owns a fresh second prime, so no
+   modulus has both primes shared. *)
+let detect ?(min_moduli = 3) (factored : Factored.t list) =
+  let parent = Hashtbl.create 256 in
+  let rec find k =
+    match Hashtbl.find_opt parent k with
+    | None ->
+      Hashtbl.replace parent k k;
+      k
+    | Some p when p = k -> k
+    | Some p ->
+      let root = find p in
+      Hashtbl.replace parent k root;
+      root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  (* Count, per prime, how many factored moduli use it. *)
+  let usage = Hashtbl.create 256 in
+  let bump p =
+    let k = N.to_limbs p in
+    Hashtbl.replace usage k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt usage k))
+  in
+  List.iter
+    (fun (f : Factored.t) ->
+      union (N.to_limbs f.Factored.p) (N.to_limbs f.Factored.q);
+      bump f.Factored.p;
+      bump f.Factored.q)
+    factored;
+  let shared p =
+    Option.value ~default:0 (Hashtbl.find_opt usage (N.to_limbs p)) >= 2
+  in
+  (* Collect, per component, the moduli with both primes shared. *)
+  let members = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Factored.t) ->
+      if shared f.Factored.p && shared f.Factored.q then begin
+        let root = find (N.to_limbs f.Factored.p) in
+        Hashtbl.replace members root
+          (f :: Option.value ~default:[] (Hashtbl.find_opt members root))
+      end)
+    factored;
+  let cliques = ref [] in
+  Hashtbl.iter
+    (fun _root (fs : Factored.t list) ->
+      let moduli =
+        List.sort_uniq N.compare (List.map (fun f -> f.Factored.modulus) fs)
+      in
+      if List.length moduli >= min_moduli then begin
+        let primes =
+          List.sort_uniq N.compare
+            (List.concat_map (fun (f : Factored.t) -> [ f.Factored.p; f.Factored.q ]) fs)
+        in
+        cliques := { primes; moduli } :: !cliques
+      end)
+    members;
+  List.sort
+    (fun a b -> compare (List.length b.moduli) (List.length a.moduli))
+    !cliques

@@ -1,0 +1,18 @@
+(** Detection of tiny-prime-pool implementations — the IBM RSA-II /
+    BladeCenter bug that generated all keys from nine primes (paper
+    Sections 3.3.1, 4.1).
+
+    Factored moduli are grouped into connected components of the
+    modulus/prime sharing graph; a modulus with BOTH primes shared by
+    other component members can only arise when the whole keypair is
+    drawn from a small pool — in the shared-first-prime pattern every
+    modulus owns a fresh second prime. *)
+
+type clique = {
+  primes : Bignum.Nat.t list;  (** the pool, sorted *)
+  moduli : Bignum.Nat.t list;  (** both-primes-shared members, sorted *)
+}
+
+val detect : ?min_moduli:int -> Factored.t list -> clique list
+(** Components with at least [min_moduli] (default 3) both-primes-
+    shared members, largest first. *)

@@ -1,0 +1,39 @@
+module N = Bignum.Nat
+
+type verdict = Satisfies | Does_not_satisfy | Inconclusive
+
+let verdict_to_string = function
+  | Satisfies -> "satisfies"
+  | Does_not_satisfy -> "does not satisfy"
+  | Inconclusive -> "inconclusive"
+
+let classify primes =
+  let primes = List.sort_uniq N.compare primes in
+  if List.length primes < 2 then Inconclusive
+  else if
+    List.for_all Bignum.Prime.satisfies_openssl_fingerprint primes
+  then Satisfies
+  else Does_not_satisfy
+
+let classify_vendors entries =
+  let by_vendor = Hashtbl.create 32 in
+  List.iter
+    (fun ((f : Factored.t), label) ->
+      match label with
+      | None -> ()
+      | Some vendor ->
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_vendor vendor) in
+        Hashtbl.replace by_vendor vendor (f.Factored.p :: f.Factored.q :: cur))
+    entries;
+  Hashtbl.fold
+    (fun vendor primes acc ->
+      let distinct = List.sort_uniq N.compare primes in
+      (vendor, classify distinct, List.length distinct) :: acc)
+    by_vendor []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let satisfy_probability_random () =
+  Array.fold_left
+    (fun acc q ->
+      if q = 2 then acc else acc *. (1.0 -. (1.0 /. Float.of_int (q - 1))))
+    1.0 Bignum.Prime.small_primes

@@ -1,0 +1,26 @@
+(** The Mironov OpenSSL prime fingerprint (paper Section 3.3.4): an
+    implementation that generates primes the OpenSSL way never outputs
+    a prime [p] with [p - 1] divisible by one of the first 2048 odd
+    table primes; a random prime satisfies that only ~7.5% of the
+    time. Observing several factored primes from one implementation
+    therefore separates likely-OpenSSL from definitely-not-OpenSSL. *)
+
+type verdict = Satisfies | Does_not_satisfy | Inconclusive
+
+val verdict_to_string : verdict -> string
+
+val classify : Bignum.Nat.t list -> verdict
+(** [classify primes]: [Satisfies] when every prime (>= 2 of them)
+    passes the fingerprint, [Does_not_satisfy] when at least one
+    fails, [Inconclusive] with fewer than 2 primes. *)
+
+val classify_vendors :
+  (Factored.t * string option) list -> (string * verdict * int) list
+(** Group factored moduli by vendor label and classify each vendor's
+    prime pool; the int is the number of distinct primes examined.
+    Unlabeled moduli are skipped. Sorted by vendor name — the
+    reproduction of Table 5. *)
+
+val satisfy_probability_random : unit -> float
+(** The ~0.075 baseline: probability a random prime satisfies the
+    fingerprint, computed from the table ([prod (1 - 1/(q-1))]). *)

@@ -1,0 +1,67 @@
+module N = Bignum.Nat
+module Sc = Netsim.Scanner
+module Cert = X509lite.Certificate
+
+type detection = {
+  modulus : N.t;
+  ips : Netsim.Ipv4.t list;
+  distinct_subjects : int;
+  invalid_signature_fraction : float;
+}
+
+let detect ?(min_ips = 10) scans =
+  let by_modulus : (int array, Sc.host_record list) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  List.iter
+    (fun (s : Sc.scan) ->
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          if not r.Sc.is_intermediate then begin
+            let k = N.to_limbs r.Sc.cert.Cert.public_key.Rsa.Keypair.n in
+            Hashtbl.replace by_modulus k
+              (r :: Option.value ~default:[] (Hashtbl.find_opt by_modulus k))
+          end)
+        s.Sc.records)
+    scans;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun limbs records ->
+      let ips =
+        List.sort_uniq Netsim.Ipv4.compare (List.map (fun r -> r.Sc.ip) records)
+      in
+      if List.length ips >= min_ips then begin
+        let subjects =
+          List.sort_uniq compare
+            (List.map
+               (fun r -> X509lite.Dn.to_string r.Sc.cert.Cert.subject)
+               records)
+        in
+        if List.length subjects >= 2 then begin
+          (* Signature check against the certificate's own key: a
+             substituted key cannot verify the original signature. *)
+          let total = List.length records in
+          let invalid =
+            List.fold_left
+              (fun acc r ->
+                if Cert.verify_signature r.Sc.cert r.Sc.cert.Cert.public_key
+                then acc
+                else acc + 1)
+              0 records
+          in
+          let frac = Float.of_int invalid /. Float.of_int total in
+          if frac > 0.5 then
+            out :=
+              {
+                modulus = N.of_limbs limbs;
+                ips;
+                distinct_subjects = List.length subjects;
+                invalid_signature_fraction = frac;
+              }
+              :: !out
+        end
+      end)
+    by_modulus;
+  List.sort
+    (fun a b -> compare (List.length b.ips) (List.length a.ips))
+    !out

@@ -1,0 +1,20 @@
+(** Detection of ISP key substitution — the Internet Rimon
+    man-in-the-middle (paper Section 3.3.3): one fixed public key
+    appearing across many IP addresses inside certificates whose other
+    fields differ and whose signatures no longer verify. *)
+
+type detection = {
+  modulus : Bignum.Nat.t;
+  ips : Netsim.Ipv4.t list;  (** distinct addresses serving the key *)
+  distinct_subjects : int;
+  invalid_signature_fraction : float;
+}
+
+val detect :
+  ?min_ips:int -> Netsim.Scanner.scan list -> detection list
+(** Group records by modulus and report keys served from at least
+    [min_ips] (default 10) distinct addresses with at least two
+    distinct subjects and a majority of invalid signatures — the
+    substitution signature. Intermediate-certificate records are
+    ignored (a CA key legitimately appears at many addresses but with
+    a single subject). Sorted by IP count, largest first. *)

@@ -1,0 +1,66 @@
+module Dn = X509lite.Dn
+module Cert = X509lite.Certificate
+
+type label = { vendor : string; model_id : string option }
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let ends_with s suffix =
+  let sl = String.length s and fl = String.length suffix in
+  sl >= fl && String.sub s (sl - fl) fl = suffix
+
+let cisco_model ou =
+  match ou with
+  | "RV082" -> Some "cisco-rv082"
+  | "RV120W" -> Some "cisco-rv120w"
+  | "RV220W" -> Some "cisco-rv220w"
+  | "RV180/180W" -> Some "cisco-rv180"
+  | "SA520/540" -> Some "cisco-sa520"
+  | _ -> None
+
+let of_certificate ?page_title cert =
+  let subject = cert.Cert.subject in
+  let cn = Option.value ~default:"" (Dn.common_name subject) in
+  let o = Option.value ~default:"" (Dn.organization subject) in
+  let ou = Option.value ~default:"" (Dn.organizational_unit subject) in
+  let sans = cert.Cert.subject_alt_names in
+  let v vendor = Some { vendor; model_id = None } in
+  let vm vendor model_id = Some { vendor; model_id = Some model_id } in
+  if contains o "Cisco Systems" then
+    Some { vendor = "Cisco"; model_id = cisco_model ou }
+  else if cn = "system generated" then v "Juniper"
+  else if contains o "Hewlett-Packard" then vm "HP" "hp-ilo"
+  else if contains o "Innominate" then vm "Innominate" "innominate-mguard"
+  else if contains o "Siemens Building Automation" then v "Siemens"
+  else if contains o "THOMSON" then vm "Technicolor" "thomson-tg"
+  else if
+    List.exists (fun s -> contains s "fritz.box") sans
+    || ends_with cn ".myfritz.net"
+  then vm "AVM" "fritzbox"
+  else if contains o "Cisco-Linksys" then vm "Linksys" "linksys-wrv"
+  else if contains o "Fortinet" then vm "Fortinet" "fortinet-fgt"
+  else if contains o "ZyXEL" then vm "ZyXEL" "zyxel-zywall"
+  else if contains ou "Dell Imaging Group" then vm "Dell" "dell-imaging"
+  else if contains o "Kronos" then vm "Kronos" "kronos-intouch"
+  else if contains o "Xerox" then vm "Xerox" "xerox-workcentre"
+  else if contains o "TP-LINK" then vm "TP-Link" "tplink-tlr"
+  else if contains o "ADTRAN" then vm "ADTRAN" "adtran-netvanta"
+  else if contains o "D-Link" then vm "D-Link" "dlink-dsr"
+  else if contains o "Huawei" then vm "Huawei" "huawei-bu"
+  else if contains o "SANGFOR" then vm "Sangfor" "sangfor-m"
+  else if contains o "Schmid Telecom" then vm "Schmid Telecom" "schmid-watson"
+  else begin
+    (* Subject carries nothing; fall back to served content, the way
+       the paper identified McAfee SnapGear consoles. *)
+    match page_title with
+    | Some t when contains t "SnapGear" ->
+      vm "McAfee" "mcafee-snapgear"
+    | _ -> None
+  end
+
+let of_record (r : Netsim.Scanner.host_record) =
+  of_certificate ?page_title:r.Netsim.Scanner.page_title
+    r.Netsim.Scanner.cert

@@ -1,0 +1,17 @@
+(** Certificate-subject fingerprinting (paper Section 3.3.1): map a
+    certificate (and optionally the HTTPS page content behind it) to a
+    vendor and, when the subject is specific enough, a product line. *)
+
+type label = {
+  vendor : string;  (** a {!Netsim.Vendor} name *)
+  model_id : string option;  (** a {!Netsim.Device_model} id when known *)
+}
+
+val of_certificate :
+  ?page_title:string -> X509lite.Certificate.t -> label option
+(** [None] when nothing in the subject, SANs or page content names a
+    known implementation — notably IBM cards (customer subjects),
+    IP-octet Fritz!Box certificates, and generic servers. *)
+
+val of_record : Netsim.Scanner.host_record -> label option
+(** Convenience wrapper feeding the record's page title through. *)

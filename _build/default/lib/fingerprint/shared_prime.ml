@@ -1,0 +1,63 @@
+module N = Bignum.Nat
+
+type t = {
+  entries : (Factored.t * string option) list;
+  pools : (int array, string list) Hashtbl.t; (* prime limbs -> vendors *)
+}
+
+let build entries =
+  let pools = Hashtbl.create 1024 in
+  List.iter
+    (fun ((f : Factored.t), label) ->
+      match label with
+      | None -> ()
+      | Some vendor ->
+        List.iter
+          (fun p ->
+            let k = N.to_limbs p in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt pools k) in
+            if not (List.mem vendor cur) then
+              Hashtbl.replace pools k (vendor :: cur))
+          [ f.Factored.p; f.Factored.q ])
+    entries;
+  { entries; pools }
+
+let vendors_of_prime t p =
+  Option.value ~default:[] (Hashtbl.find_opt t.pools (N.to_limbs p))
+
+let label_modulus t (f : Factored.t) =
+  let vs =
+    List.sort_uniq compare
+      (vendors_of_prime t f.Factored.p @ vendors_of_prime t f.Factored.q)
+  in
+  match vs with [ v ] -> Some v | [] | _ :: _ -> None
+
+let extrapolated t =
+  List.filter_map
+    (fun (f, label) ->
+      match label with
+      | Some _ -> None
+      | None -> Option.map (fun v -> (f, v)) (label_modulus t f))
+    t.entries
+
+let overlaps t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Hashtbl.iter
+    (fun limbs vendors ->
+      let sorted = List.sort compare vendors in
+      let rec pairs = function
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              if not (Hashtbl.mem seen (a, b)) then begin
+                Hashtbl.replace seen (a, b) ();
+                out := (a, b, N.of_limbs limbs) :: !out
+              end)
+            rest;
+          pairs rest
+        | [] -> ()
+      in
+      pairs sorted)
+    t.pools;
+  !out

@@ -1,0 +1,1 @@
+lib/hashes/drbg.ml: Buffer Hmac String

@@ -1,0 +1,1 @@
+lib/hashes/hmac.ml: Char Sha256 String

@@ -1,0 +1,1 @@
+lib/hashes/sha256.ml: Array Buffer Bytes Char Printf Stdlib String

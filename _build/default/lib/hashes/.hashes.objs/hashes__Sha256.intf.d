@@ -1,0 +1,1 @@
+lib/hashes/sha256.mli:

@@ -1,0 +1,31 @@
+(* HMAC-DRBG, SHA-256 instance. State is (K, V); update and generate
+   follow SP 800-90A section 10.1.2 without the reseed counter (our
+   simulated devices never generate anywhere near the 2^48 limit). *)
+
+type t = { mutable key : string; mutable v : string }
+
+let update t provided =
+  t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x00" ^ provided);
+  t.v <- Hmac.sha256 ~key:t.key t.v;
+  if String.length provided > 0 then begin
+    t.key <- Hmac.sha256 ~key:t.key (t.v ^ "\x01" ^ provided);
+    t.v <- Hmac.sha256 ~key:t.key t.v
+  end
+
+let create ?(personalization = "") ~seed () =
+  let t = { key = String.make 32 '\x00'; v = String.make 32 '\x01' } in
+  update t (seed ^ personalization);
+  t
+
+let generate t n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    t.v <- Hmac.sha256 ~key:t.key t.v;
+    Buffer.add_string buf t.v
+  done;
+  update t "";
+  String.sub (Buffer.contents buf) 0 n
+
+let reseed t entropy = update t entropy
+let gen_fn t n = generate t n
+let copy t = { key = t.key; v = t.v }

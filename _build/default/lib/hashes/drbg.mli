@@ -1,0 +1,25 @@
+(** HMAC-DRBG (after NIST SP 800-90A, SHA-256 instance).
+
+    The deterministic generator behind every simulated device RNG: a
+    device whose entropy pool holds [b] bits of real entropy is modeled
+    by seeding this DRBG with one of [2^b] possible seeds, which is
+    exactly the failure mode the paper's weak keys stem from. *)
+
+type t
+
+val create : ?personalization:string -> seed:string -> unit -> t
+(** Instantiate from seed material. Deterministic: equal seeds and
+    personalization strings yield equal output streams. *)
+
+val generate : t -> int -> string
+(** [generate t n] produces the next [n] bytes of output. *)
+
+val reseed : t -> string -> unit
+(** Mix additional entropy into the state. *)
+
+val gen_fn : t -> int -> string
+(** The generator in the [int -> string] shape expected by
+    {!Bignum.Nat.random_bits}; identical to {!generate}. *)
+
+val copy : t -> t
+(** Snapshot of the current state (for divergence experiments). *)

@@ -1,0 +1,22 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch for this sealed
+    container. Used for certificate fingerprints and as the primitive
+    under {!Hmac} and {!Drbg}. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte raw digest. The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot raw 32-byte digest. *)
+
+val hexdigest : string -> string
+(** One-shot digest as 64 lowercase hex characters. *)
+
+val to_hex : string -> string
+(** Hex-encode arbitrary bytes. *)
+
+val of_hex : string -> string
+(** Decode lowercase/uppercase hex. @raise Invalid_argument on bad input. *)

@@ -1,0 +1,1 @@
+lib/netsim/det.ml: Char Float Hashes String

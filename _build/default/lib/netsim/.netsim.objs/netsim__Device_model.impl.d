@@ -1,0 +1,1 @@
+lib/netsim/device_model.ml: Array Det Entropy Ipv4 List Printf Rsa X509lite

@@ -1,0 +1,1 @@
+lib/netsim/device_model.mli: Entropy Rsa X509lite

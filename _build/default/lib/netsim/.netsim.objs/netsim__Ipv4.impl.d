@@ -1,0 +1,1 @@
+lib/netsim/ipv4.ml: Char Det Format Int Printf Stdlib String

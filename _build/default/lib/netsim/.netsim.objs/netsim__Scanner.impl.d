@@ -1,0 +1,1 @@
+lib/netsim/scanner.ml: Array Bignum Det Device_model Float Ipv4 List Printf Rsa Stdlib World X509lite

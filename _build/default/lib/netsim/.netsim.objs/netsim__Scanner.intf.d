@@ -1,0 +1,1 @@
+lib/netsim/scanner.mli: Bignum Ipv4 World X509lite

@@ -1,0 +1,1 @@
+lib/netsim/vendor.ml: List X509lite

@@ -1,0 +1,1 @@
+lib/netsim/vendor.mli: X509lite

@@ -1,0 +1,1 @@
+lib/netsim/world.ml: Array Batchgcd Bignum Det Device_model Entropy Float Hashtbl Ipv4 List Option Printf Rsa Stdlib Sys X509lite

@@ -1,0 +1,1 @@
+lib/netsim/world.mli: Bignum Device_model Ipv4 Rsa X509lite

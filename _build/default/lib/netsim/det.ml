@@ -1,0 +1,36 @@
+(* Fast deterministic hashing for simulation decisions. Key-derived
+   choices use FNV-1a with a splitmix64-style finalizer — not
+   cryptographic, but stable across runs and platforms, and orders of
+   magnitude cheaper than the DRBG (the world model makes millions of
+   these calls). Key *material* (gen_fn) still comes from HMAC-DRBG. *)
+
+let mask62 = (1 lsl 62) - 1
+
+(* Constants are the canonical FNV/splitmix ones truncated to OCaml's
+   62 value bits; any odd multipliers serve for a non-crypto hash. *)
+let fnv1a key =
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land mask62)
+    key;
+  !h
+
+let finalize z =
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land mask62 in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land mask62 in
+  z lxor (z lsr 31)
+
+let int64_of key = finalize (fnv1a key)
+
+let bytes key n =
+  (* Counter-mode expansion of the hash; enough for IPs and serials. *)
+  String.init n (fun i ->
+      Char.chr (int64_of (key ^ "#" ^ string_of_int (i / 7)) lsr (8 * (i mod 7)) land 0xff))
+
+let int key bound =
+  if bound <= 0 then invalid_arg "Det.int: bound must be positive"
+  else int64_of key mod bound
+
+let float key = Float.of_int (int64_of key land ((1 lsl 53) - 1)) /. Float.of_int (1 lsl 53)
+let bool key ~p = float key < p
+let gen_fn key = Hashes.Drbg.gen_fn (Hashes.Drbg.create ~seed:key ())

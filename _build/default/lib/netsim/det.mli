@@ -1,0 +1,24 @@
+(** Deterministic, order-independent randomness for the simulator.
+
+    Every stochastic choice in the world model is keyed by a string
+    path ("<seed>/<model>/<device-id>/<purpose>"), so results do not
+    depend on evaluation order or domain scheduling, and a world built
+    twice from the same seed is bit-identical. *)
+
+val bytes : string -> int -> string
+(** [bytes key n]: [n] pseudo-random bytes for this key. *)
+
+val int : string -> int -> int
+(** [int key bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val float : string -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : string -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val gen_fn : string -> int -> string
+(** A stateful generator seeded by the key: successive calls continue
+    one DRBG stream (for prime generation). Each call to [gen_fn]
+    creates a fresh stream. *)

@@ -1,0 +1,481 @@
+module Date = X509lite.Date
+module Dn = X509lite.Dn
+module Rng = Entropy.Device_rng
+
+type eol = { announce : Date.t; end_of_sale : Date.t }
+
+type dynamics = {
+  intro : Date.t;
+  ramp_months : int;
+  peak : int;
+  decline_start : Date.t option;
+  decline_monthly : float;
+  churn_monthly : float;
+  regen_monthly : float;
+  ip_churn_monthly : float;
+  heartbleed_shock : float;
+  eol : eol option;
+}
+
+type keygen =
+  | Profile_keygen of {
+      weak_profile : Rng.profile;
+      style : Rsa.Keypair.prime_style;
+    }
+  | Ibm_keygen
+
+type t = {
+  id : string;
+  vendor : string;
+  label : string;
+  identity : seed:string -> Dn.t * string list;
+  keygen : keygen;
+  weak_frac : float;
+  vuln_start : Date.t option;
+  fix_date : Date.t option;
+  serves_ssh : bool;
+  content_hint : string option;
+  dynamics : dynamics;
+}
+
+let d = Date.of_ymd
+
+let is_weak_at m date =
+  (match m.vuln_start with None -> true | Some s -> Date.(s <= date))
+  && match m.fix_date with None -> true | Some f -> Date.(date < f)
+
+let dyn ?(decline_start = None) ?(decline_monthly = 0.) ?(churn = 0.01)
+    ?(regen = 0.002) ?(ip_churn = 0.01) ?(shock = 0.) ?eol ~intro ~ramp ~peak
+    () =
+  {
+    intro;
+    ramp_months = ramp;
+    peak;
+    decline_start;
+    decline_monthly;
+    churn_monthly = churn;
+    regen_monthly = regen;
+    ip_churn_monthly = ip_churn;
+    heartbleed_shock = shock;
+    eol;
+  }
+
+let profile ~pool ~bits ~style =
+  Profile_keygen
+    { weak_profile = Rng.vulnerable_shared_prime pool ~bits; style }
+
+(* --------------- identity templates --------------- *)
+
+let fixed_dn dn ~seed:_ = (dn, [])
+let fixed ?cn ?o ?ou () = fixed_dn (Dn.make ?cn ?o ?ou ())
+
+let fritzbox_identity ~seed =
+  (* Most Fritz!Box certificates carry only an IP-octet CN; the rest
+     identify themselves via myfritz.net names and fritz.box SANs. *)
+  if Det.bool (seed ^ "/fritz-style") ~p:0.55 then
+    (Dn.make ~cn:(Ipv4.to_string (Ipv4.of_key (seed ^ "/cn-ip"))) (), [])
+  else begin
+    let sub = Printf.sprintf "r%05d" (Det.int (seed ^ "/sub") 100000) in
+    ( Dn.make ~cn:(sub ^ ".myfritz.net") (),
+      [ "fritz.box"; "www.fritz.box"; "myfritz.box"; "fritz.fonwlan.box" ] )
+  end
+
+let ibm_identity ~seed =
+  (* IBM RSA-II cards carry customer-organization subjects that do not
+     name IBM at all. *)
+  let org = [| "Acme Corp"; "Contoso"; "Initech"; "Globex"; "Umbrella IT" |] in
+  let cn = Printf.sprintf "asm%04d" (Det.int (seed ^ "/asm") 10000) in
+  (Dn.make ~cn ~o:org.(Det.int (seed ^ "/org") (Array.length org)) (), [])
+
+let huawei_identity ~seed =
+  let ou =
+    if Det.bool (seed ^ "/india") ~p:0.84 then "Huawei India BU"
+    else "Huawei Enterprise BU"
+  in
+  (Dn.make ~cn:"huawei" ~o:"Huawei Technologies Co., Ltd." ~ou (), [])
+
+let generic_identity ~seed =
+  let cn =
+    Printf.sprintf "host%06d.example-hosting.net" (Det.int (seed ^ "/host") 1000000)
+  in
+  (Dn.make ~cn (), [])
+
+(* --------------- the catalogue --------------- *)
+
+let cisco_line ~id ~model ~intro ~ramp ~peak ~eol_announce ~eol_sale
+    ?(weak = 0.18) () =
+  {
+    id;
+    vendor = "Cisco";
+    label = "Cisco " ^ model;
+    identity = fixed ~cn:"router" ~o:"Cisco Systems, Inc." ~ou:model ();
+    keygen = profile ~pool:id ~bits:6 ~style:Rsa.Keypair.Openssl;
+    weak_frac = weak;
+    vuln_start = None;
+    fix_date = Some (d 2015 1 1);
+    serves_ssh = false;
+    content_hint = None;
+    dynamics =
+      dyn ~intro ~ramp ~peak
+        ~decline_start:(Some eol_announce)
+        ~decline_monthly:0.02
+        ~eol:{ announce = eol_announce; end_of_sale = eol_sale }
+        ();
+  }
+
+let catalog =
+  [
+    (* The healthy bulk of the HTTPS internet: web servers with real
+       entropy. Dominates totals, contributes no weak keys. *)
+    {
+      id = "generic-web";
+      vendor = "Generic";
+      label = "Generic web servers";
+      identity = generic_identity;
+      keygen =
+        Profile_keygen
+          { weak_profile = Rng.healthy "generic-web"; style = Rsa.Keypair.Openssl };
+      weak_frac = 0.;
+      vuln_start = None;
+      fix_date = None;
+      serves_ssh = true;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2005 1 1) ~ramp:136 ~peak:26000 ~churn:0.02
+          ~regen:0.003 ();
+    };
+    (* Figure 3: Juniper SRX-branch security devices. *)
+    {
+      id = "juniper-srx";
+      vendor = "Juniper";
+      label = "Juniper SRX";
+      identity = fixed ~cn:"system generated" ();
+      keygen = profile ~pool:"juniper-srx" ~bits:6 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.12;
+      vuln_start = None;
+      fix_date = Some (d 2014 1 1);
+      serves_ssh = true;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2008 1 1) ~ramp:76 ~peak:800 ~shock:0.37
+          ~decline_start:(Some (d 2014 5 1)) ~decline_monthly:0.005
+          ~regen:0.004 ();
+    };
+    (* Figure 4: Innominate mGuard industrial security appliances. *)
+    {
+      id = "innominate-mguard";
+      vendor = "Innominate";
+      label = "Innominate mGuard";
+      identity = fixed ~cn:"mGuard" ~o:"Innominate Security Technologies" ();
+      keygen = profile ~pool:"innominate-mguard" ~bits:4 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.5;
+      vuln_start = None;
+      fix_date = Some (d 2012 7 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2009 1 1) ~ramp:84 ~peak:60 ~churn:0.003 ~regen:0.001 ();
+    };
+    (* Figure 5: IBM RSA-II / BladeCenter management modules. *)
+    {
+      id = "ibm-rsa2";
+      vendor = "IBM";
+      label = "IBM RSA-II/BladeCenter";
+      identity = ibm_identity;
+      keygen = Ibm_keygen;
+      weak_frac = 1.0;
+      vuln_start = None;
+      fix_date = Some (d 2012 10 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2005 1 1) ~ramp:24 ~peak:100
+          ~decline_start:(Some (d 2010 1 1)) ~decline_monthly:0.015
+          ~shock:0.45 ~churn:0.002 ();
+    };
+    (* Siemens building-automation interfaces embedding the IBM card
+       (the shared-modulus overlap of Section 3.3.2)... *)
+    {
+      id = "siemens-ibm";
+      vendor = "Siemens";
+      label = "Siemens Building Automation (IBM module)";
+      identity = fixed ~cn:"BACnet" ~o:"Siemens Building Automation" ();
+      keygen = Ibm_keygen;
+      weak_frac = 1.0;
+      vuln_start = None;
+      fix_date = None;
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2013 2 1) ~ramp:12 ~peak:25 ~churn:0.002 ();
+    };
+    (* ...and the rest of the Siemens population with its own RNG. *)
+    {
+      id = "siemens-bau";
+      vendor = "Siemens";
+      label = "Siemens Building Automation";
+      identity = fixed ~cn:"talon" ~o:"Siemens Building Automation" ();
+      keygen = profile ~pool:"siemens-bau" ~bits:5 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.12;
+      vuln_start = None;
+      fix_date = Some (d 2014 1 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2010 6 1) ~ramp:48 ~peak:150 ();
+    };
+    (* Figures 6 and 7: Cisco small-business lines with staggered
+       end-of-life dates. The RV082 line never generated weak keys. *)
+    cisco_line ~id:"cisco-rv082" ~model:"RV082" ~intro:(d 2006 1 1) ~ramp:60
+      ~peak:500 ~eol_announce:(d 2013 3 1) ~eol_sale:(d 2013 9 1) ~weak:0. ();
+    cisco_line ~id:"cisco-rv120w" ~model:"RV120W" ~intro:(d 2010 3 1) ~ramp:36
+      ~peak:350 ~eol_announce:(d 2014 3 1) ~eol_sale:(d 2014 9 1) ();
+    cisco_line ~id:"cisco-rv220w" ~model:"RV220W" ~intro:(d 2010 9 1) ~ramp:36
+      ~peak:400 ~eol_announce:(d 2014 9 1) ~eol_sale:(d 2015 3 1) ();
+    cisco_line ~id:"cisco-rv180" ~model:"RV180/180W" ~intro:(d 2011 6 1)
+      ~ramp:30 ~peak:300 ~eol_announce:(d 2015 3 1) ~eol_sale:(d 2015 10 1) ();
+    cisco_line ~id:"cisco-sa520" ~model:"SA520/540" ~intro:(d 2009 6 1)
+      ~ramp:36 ~peak:250 ~eol_announce:(d 2012 9 1) ~eol_sale:(d 2013 3 1) ();
+    (* Figure 8: HP iLO out-of-band management cards. *)
+    {
+      id = "hp-ilo";
+      vendor = "HP";
+      label = "HP iLO";
+      identity = fixed ~cn:"ILOUSE705XJ2Q" ~o:"Hewlett-Packard Development" ();
+      keygen = profile ~pool:"hp-ilo" ~bits:5 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.05;
+      vuln_start = None;
+      fix_date = Some (d 2012 9 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2006 1 1) ~ramp:72 ~peak:1000
+          ~decline_start:(Some (d 2012 6 1)) ~decline_monthly:0.01
+          ~shock:0.12 ();
+    };
+    (* Figure 9 vendors (no response to notification). *)
+    {
+      id = "thomson-tg";
+      vendor = "Technicolor";
+      label = "Thomson";
+      identity = fixed ~cn:"Thomson TG585" ~o:"THOMSON" ();
+      keygen = profile ~pool:"thomson-tg" ~bits:4 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.015;
+      vuln_start = None;
+      fix_date = Some (d 2012 6 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2007 1 1) ~ramp:48 ~peak:2000
+          ~decline_start:(Some (d 2012 1 1)) ~decline_monthly:0.012 ();
+    };
+    {
+      id = "fritzbox";
+      vendor = "AVM";
+      label = "Fritz!Box";
+      identity = fritzbox_identity;
+      keygen = profile ~pool:"fritzbox" ~bits:6 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.06;
+      vuln_start = None;
+      fix_date = Some (d 2014 3 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2008 1 1) ~ramp:72 ~peak:2500 ();
+    };
+    {
+      id = "linksys-wrv";
+      vendor = "Linksys";
+      label = "Linksys";
+      identity = fixed ~cn:"Linksys WRV200" ~o:"Cisco-Linksys, LLC" ();
+      keygen = profile ~pool:"linksys-wrv" ~bits:5 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.035;
+      vuln_start = None;
+      fix_date = Some (d 2012 1 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2006 1 1) ~ramp:48 ~peak:1200
+          ~decline_start:(Some (d 2012 6 1)) ~decline_monthly:0.02 ();
+    };
+    {
+      id = "fortinet-fgt";
+      vendor = "Fortinet";
+      label = "Fortinet FortiGate";
+      identity = fixed ~cn:"FGT60C" ~o:"Fortinet" ();
+      keygen = profile ~pool:"fortinet-fgt" ~bits:4 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.015;
+      vuln_start = None;
+      fix_date = Some (d 2012 6 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2009 1 1) ~ramp:90 ~peak:1500 ();
+    };
+    {
+      id = "zyxel-zywall";
+      vendor = "ZyXEL";
+      label = "ZyXEL ZyWALL";
+      identity = fixed ~cn:"ZyWALL USG" ~o:"ZyXEL Communications" ();
+      keygen = profile ~pool:"zyxel-zywall" ~bits:6 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.10;
+      vuln_start = None;
+      fix_date = Some (d 2013 1 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2008 1 1) ~ramp:48 ~peak:800
+          ~decline_start:(Some (d 2013 1 1)) ~decline_monthly:0.015 ();
+    };
+    (* Dell imaging devices are rebadged Fuji Xerox hardware and share
+       Xerox's prime pool (Section 3.3.2). *)
+    {
+      id = "dell-imaging";
+      vendor = "Dell";
+      label = "Dell (Imaging Group)";
+      identity = fixed ~cn:"dell-printer" ~o:"Dell Inc." ~ou:"Dell Imaging Group" ();
+      keygen = profile ~pool:"xerox-imaging" ~bits:5 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.05;
+      vuln_start = None;
+      fix_date = Some (d 2013 1 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2008 1 1) ~ramp:48 ~peak:400
+          ~decline_start:(Some (d 2013 6 1)) ~decline_monthly:0.01 ();
+    };
+    {
+      id = "kronos-intouch";
+      vendor = "Kronos";
+      label = "Kronos";
+      identity = fixed ~cn:"kronos4500" ~o:"Kronos Incorporated" ();
+      keygen = profile ~pool:"kronos-intouch" ~bits:5 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.2;
+      vuln_start = None;
+      fix_date = Some (d 2013 1 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2008 1 1) ~ramp:48 ~peak:200
+          ~decline_start:(Some (d 2014 1 1)) ~decline_monthly:0.01 ();
+    };
+    {
+      id = "xerox-workcentre";
+      vendor = "Xerox";
+      label = "Xerox WorkCentre";
+      identity = fixed ~cn:"WorkCentre 7345" ~o:"Xerox Corporation" ();
+      keygen = profile ~pool:"xerox-imaging" ~bits:5 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.2;
+      vuln_start = None;
+      fix_date = Some (d 2013 1 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2008 1 1) ~ramp:48 ~peak:200
+          ~decline_start:(Some (d 2014 1 1)) ~decline_monthly:0.01 ();
+    };
+    (* McAfee SnapGear: vendorless default subjects; identified via
+       served content and shared primes in the paper. *)
+    {
+      id = "mcafee-snapgear";
+      vendor = "McAfee";
+      label = "McAfee SnapGear";
+      identity =
+        fixed ~cn:"Default Common Name" ~o:"Default Organization"
+          ~ou:"Default Unit" ();
+      keygen = profile ~pool:"mcafee-snapgear" ~bits:5 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.25;
+      vuln_start = None;
+      fix_date = Some (d 2012 9 1);
+      serves_ssh = false;
+      content_hint = Some "SnapGear Management Console";
+      dynamics =
+        dyn ~intro:(d 2007 1 1) ~ramp:36 ~peak:150
+          ~decline_start:(Some (d 2012 1 1)) ~decline_monthly:0.015 ();
+    };
+    {
+      id = "tplink-tlr";
+      vendor = "TP-Link";
+      label = "TP-Link";
+      identity = fixed ~cn:"TL-R600VPN" ~o:"TP-LINK" ();
+      keygen = profile ~pool:"tplink-tlr" ~bits:7 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.8;
+      vuln_start = None;
+      fix_date = Some (d 2013 6 1);
+      serves_ssh = false;
+      content_hint = None;
+      dynamics =
+        dyn ~intro:(d 2009 1 1) ~ramp:48 ~peak:300
+          ~decline_start:(Some (d 2013 6 1)) ~decline_monthly:0.02 ();
+    };
+    (* Figure 10: newly vulnerable since 2012. *)
+    {
+      id = "adtran-netvanta";
+      vendor = "ADTRAN";
+      label = "ADTRAN NetVanta";
+      identity = fixed ~cn:"NetVanta 3448" ~o:"ADTRAN, Inc." ();
+      keygen = profile ~pool:"adtran-netvanta" ~bits:5 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.35;
+      vuln_start = Some (d 2015 1 1);
+      fix_date = None;
+      serves_ssh = true;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2009 1 1) ~ramp:84 ~peak:600 ();
+    };
+    {
+      id = "dlink-dsr";
+      vendor = "D-Link";
+      label = "D-Link DSR";
+      identity = fixed ~cn:"DSR-500N" ~o:"D-Link Corporation" ();
+      keygen = profile ~pool:"dlink-dsr" ~bits:6 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.12;
+      vuln_start = Some (d 2012 9 1);
+      fix_date = None;
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2010 1 1) ~ramp:72 ~peak:1500 ();
+    };
+    {
+      id = "huawei-bu";
+      vendor = "Huawei";
+      label = "Huawei";
+      identity = huawei_identity;
+      keygen = profile ~pool:"huawei-bu" ~bits:5 ~style:Rsa.Keypair.Plain;
+      weak_frac = 0.5;
+      vuln_start = Some (d 2015 4 1);
+      fix_date = None;
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2013 1 1) ~ramp:36 ~peak:500 ~churn:0.03 ();
+    };
+    {
+      id = "sangfor-m";
+      vendor = "Sangfor";
+      label = "Sangfor";
+      identity = fixed ~cn:"sangfor-m5100" ~o:"SANGFOR" ();
+      keygen = profile ~pool:"sangfor-m" ~bits:4 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.15;
+      vuln_start = Some (d 2014 6 1);
+      fix_date = None;
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2012 1 1) ~ramp:48 ~peak:300 ();
+    };
+    {
+      id = "schmid-watson";
+      vendor = "Schmid Telecom";
+      label = "Schmid Telecom";
+      identity =
+        fixed ~cn:"watson-sz" ~o:"Schmid Telecom India Pvt Ltd" ();
+      keygen = profile ~pool:"schmid-watson" ~bits:5 ~style:Rsa.Keypair.Openssl;
+      weak_frac = 0.6;
+      vuln_start = Some (d 2013 1 1);
+      fix_date = None;
+      serves_ssh = false;
+      content_hint = None;
+      dynamics = dyn ~intro:(d 2011 1 1) ~ramp:36 ~peak:150 ();
+    };
+  ]
+
+let find id = List.find (fun m -> m.id = id) catalog
+
+let cisco_eol_models =
+  List.map find
+    [ "cisco-rv082"; "cisco-rv120w"; "cisco-rv220w"; "cisco-rv180";
+      "cisco-sa520" ]

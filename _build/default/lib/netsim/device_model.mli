@@ -1,0 +1,68 @@
+(** Product-line models: identity templates, RNG flaw parameters and
+    population dynamics for every device family the paper tracks.
+
+    Population targets are calibrated to the paper's figures at
+    [scale = 1.0], with vulnerable populations kept large enough to
+    have measurable shapes (roughly 1/10 of the paper's per-scan
+    vulnerable counts, 1/100 of per-vendor totals, 1/1000 of the
+    whole-internet background — see DESIGN.md). *)
+
+type eol = { announce : X509lite.Date.t; end_of_sale : X509lite.Date.t }
+
+type dynamics = {
+  intro : X509lite.Date.t;  (** first deployments *)
+  ramp_months : int;  (** months from intro to peak population *)
+  peak : int;  (** peak online devices at [scale = 1.0] *)
+  decline_start : X509lite.Date.t option;
+  decline_monthly : float;  (** fractional monthly decline once started *)
+  churn_monthly : float;  (** devices replaced by new units per month *)
+  regen_monthly : float;  (** devices regenerating their certificate *)
+  ip_churn_monthly : float;  (** devices moving to a new IP address *)
+  heartbleed_shock : float;
+      (** fraction of the population going offline at the 04/2014 scan *)
+  eol : eol option;  (** end-of-life record, for Figure 7 *)
+}
+
+type keygen =
+  | Profile_keygen of {
+      weak_profile : Entropy.Device_rng.profile;
+      style : Rsa.Keypair.prime_style;
+    }  (** boot-entropy-hole key generation *)
+  | Ibm_keygen  (** two primes from the 9-prime IBM pool *)
+
+type t = {
+  id : string;  (** stable identifier, used in deterministic paths *)
+  vendor : string;  (** a {!Vendor.t} name *)
+  label : string;  (** display label, e.g. "Cisco RV220W" *)
+  identity : seed:string -> X509lite.Dn.t * string list;
+      (** subject DN and subjectAltNames for a device; [seed] is the
+          device's deterministic path *)
+  keygen : keygen;
+  weak_frac : float;
+      (** fraction of units running the flawed firmware at all *)
+  vuln_start : X509lite.Date.t option;
+      (** units deployed before this are NOT vulnerable (the
+          newly-vulnerable-since-2012 vendors of Section 4.4) *)
+  fix_date : X509lite.Date.t option;
+      (** units deployed on/after this date are fixed *)
+  serves_ssh : bool;  (** also exposes an SSH host key from the same RNG *)
+  content_hint : string option;
+      (** text on the device's HTTPS landing page that identifies the
+          product when the certificate subject does not (the McAfee
+          SnapGear case of Section 3.3.1) *)
+  dynamics : dynamics;
+}
+
+val is_weak_at : t -> X509lite.Date.t -> bool
+(** Whether a unit deployed on the given date runs flawed firmware
+    (before considering [weak_frac] sampling). *)
+
+val catalog : t list
+(** Every modeled product line, including the healthy background
+    population ([generic-web]) and Siemens' IBM-derived devices. *)
+
+val find : string -> t
+(** Lookup by [id]. @raise Not_found. *)
+
+val cisco_eol_models : t list
+(** The five small-business lines of Figure 7, in figure order. *)

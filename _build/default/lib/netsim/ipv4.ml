@@ -1,0 +1,40 @@
+type t = int
+
+let to_string ip =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((ip lsr 24) land 0xff)
+    ((ip lsr 16) land 0xff)
+    ((ip lsr 8) land 0xff)
+    (ip land 0xff)
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+    let oct x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 && v <= 255 -> v
+      | _ -> invalid_arg "Ipv4.of_string: bad octet"
+    in
+    (oct a lsl 24) lor (oct b lsl 16) lor (oct c lsl 8) lor oct d
+  | _ -> invalid_arg "Ipv4.of_string: expected dotted quad"
+
+let is_reserved ip =
+  let a = (ip lsr 24) land 0xff in
+  a = 0 || a = 10 || a = 127 || a >= 224
+  || (a = 172 && (ip lsr 20) land 0xf = 1)
+  || (a = 192 && (ip lsr 16) land 0xff = 168)
+
+let of_key key =
+  let rec draw i =
+    let s = Det.bytes (Printf.sprintf "%s/ip/%d" key i) 4 in
+    let ip =
+      (Char.code s.[0] lsl 24) lor (Char.code s.[1] lsl 16)
+      lor (Char.code s.[2] lsl 8) lor Char.code s.[3]
+    in
+    if is_reserved ip then draw (i + 1) else ip
+  in
+  draw 0
+
+let compare = Stdlib.compare
+let equal = Int.equal
+let pp fmt ip = Format.pp_print_string fmt (to_string ip)

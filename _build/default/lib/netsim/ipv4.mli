@@ -1,0 +1,16 @@
+(** IPv4 addresses for the simulated internet. *)
+
+type t = int
+(** The 32-bit address packed in a native int. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Invalid_argument on malformed dotted quads. *)
+
+val of_key : string -> t
+(** A deterministic pseudo-random public address for a key; avoids
+    0.0.0.0/8, 10/8, 127/8, 172.16/12, 192.168/16 and multicast. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rsa/ibm.ml: Array Bignum Char Fun Hashes Hashtbl Keypair List Mutex Printf String

@@ -1,0 +1,1 @@
+lib/rsa/ibm.mli: Bignum Keypair

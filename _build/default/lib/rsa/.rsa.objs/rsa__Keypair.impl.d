@@ -1,0 +1,1 @@
+lib/rsa/keypair.ml: Bignum Entropy Hashes Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/rsa/keypair.mli: Bignum Entropy

@@ -1,0 +1,190 @@
+module N = Bignum.Nat
+module P = Bignum.Prime
+
+type public = { n : N.t; e : N.t }
+type private_key = { pub : public; p : N.t; q : N.t; d : N.t }
+type prime_style = Openssl | Plain
+
+let default_e = N.of_int 65537
+
+(* Reject primes with p = 1 (mod e): e = 65537 could never be
+   inverted modulo lambda, whatever the other prime is — OpenSSL's
+   keygen applies the same rejection. Expected once per ~65537 primes,
+   so the retry is essentially free. *)
+let rec gen_prime style ~gen ~bits =
+  let p =
+    match style with
+    | Openssl -> P.generate_openssl_style ~gen ~bits
+    | Plain -> P.generate ~gen ~bits
+  in
+  if N.mod_int (N.sub p N.one) 65537 = 0 then gen_prime style ~gen ~bits
+  else p
+
+(* Assemble a key from two distinct primes; retries the second prime
+   via [regen] while p = q or e is not invertible (gcd(e, lam) > 1). *)
+let assemble ~regen p q =
+  let rec go q =
+    if N.equal p q then go (regen ())
+    else begin
+      let p1 = N.sub p N.one and q1 = N.sub q N.one in
+      let lam = N.div (N.mul p1 q1) (N.gcd p1 q1) in
+      match N.invert_mod default_e lam with
+      | None -> go (regen ())
+      | Some d ->
+        let n = N.mul p q in
+        { pub = { n; e = default_e }; p; q; d }
+    end
+  in
+  go q
+
+let check_bits bits =
+  if bits < 32 || bits mod 2 <> 0 then
+    invalid_arg "Rsa.generate: modulus size must be even and >= 32"
+
+let generate ?(style = Openssl) ~gen ~bits () =
+  check_bits bits;
+  let half = bits / 2 in
+  let p = gen_prime style ~gen ~bits:half in
+  let q = gen_prime style ~gen ~bits:half in
+  assemble ~regen:(fun () -> gen_prime style ~gen ~bits:half) p q
+
+let generate_on_device ?(style = Openssl) ~rng ~bits () =
+  check_bits bits;
+  let half = bits / 2 in
+  if Entropy.Device_rng.is_blocking rng then Entropy.Device_rng.properly_seed rng;
+  let gen = Entropy.Device_rng.gen rng in
+  let p = gen_prime style ~gen ~bits:half in
+  Entropy.Device_rng.note_first_prime_done rng;
+  let q = gen_prime style ~gen ~bits:half in
+  assemble ~regen:(fun () -> gen_prime style ~gen ~bits:half) p q
+
+let is_consistent k =
+  N.equal k.pub.n (N.mul k.p k.q)
+  && P.is_probable_prime k.p && P.is_probable_prime k.q
+  && begin
+       let p1 = N.sub k.p N.one and q1 = N.sub k.q N.one in
+       let lam = N.div (N.mul p1 q1) (N.gcd p1 q1) in
+       N.is_one (N.rem (N.mul k.pub.e k.d) lam)
+     end
+
+let encrypt pub m =
+  if N.compare m pub.n >= 0 then invalid_arg "Rsa.encrypt: message >= modulus";
+  N.pow_mod m pub.e pub.n
+
+let decrypt k c = N.pow_mod c k.d k.pub.n
+
+(* CRT decryption with Garner recombination:
+   m_p = c^(d mod p-1) mod p, m_q = c^(d mod q-1) mod q,
+   h = qInv * (m_p - m_q) mod p, m = m_q + h*q. *)
+let decrypt_crt k c =
+  let p = k.p and q = k.q in
+  let dp = N.rem k.d (N.sub p N.one) and dq = N.rem k.d (N.sub q N.one) in
+  let mp = Bignum.Montgomery.pow_mod_nat (N.rem c p) dp p in
+  let mq = Bignum.Montgomery.pow_mod_nat (N.rem c q) dq q in
+  match N.invert_mod (N.rem q p) p with
+  | None ->
+    (* p = q cannot happen for keys built by this module; fall back. *)
+    decrypt k c
+  | Some qinv ->
+    let diff =
+      if N.compare mp mq >= 0 then N.sub mp mq
+      else N.sub (N.add mp p) (N.rem mq p)
+    in
+    let diff = N.rem diff p in
+    let h = N.rem (N.mul qinv diff) p in
+    N.add mq (N.mul h q)
+
+(* PKCS#1 v1.5 style EMSA padding: 0x01 || 0xff.. || 0x00 || H(msg),
+   sized one byte under the modulus length so the integer is < n. The
+   simulation runs with small moduli (96-512 bits), so the SHA-256
+   digest is truncated when it would not fit — the padding stays an
+   injective-enough function of the message for signature semantics. *)
+let emsa_pad n_bytes msg =
+  let h = Hashes.Sha256.digest msg in
+  let h =
+    if String.length h + 2 > n_bytes then String.sub h 0 (n_bytes - 2) else h
+  in
+  if String.length h < 4 then invalid_arg "Rsa.sign: modulus too small"
+  else begin
+    let fill = n_bytes - String.length h - 2 in
+    "\x01" ^ String.make fill '\xff' ^ "\x00" ^ h
+  end
+
+let sign k msg =
+  let n_bytes = (N.num_bits k.pub.n + 7) / 8 in
+  let m = N.of_bytes_be (emsa_pad (n_bytes - 1) msg) in
+  N.pow_mod m k.d k.pub.n
+
+let verify pub msg signature =
+  if N.compare signature pub.n >= 0 then false
+  else begin
+    let n_bytes = (N.num_bits pub.n + 7) / 8 in
+    let expected = N.of_bytes_be (emsa_pad (n_bytes - 1) msg) in
+    N.equal expected (N.pow_mod signature pub.e pub.n)
+  end
+
+let recover_private pub ~factor =
+  if N.is_zero factor || N.is_one factor then None
+  else begin
+    let q, r = N.divmod pub.n factor in
+    if not (N.is_zero r) then None
+    else if not (P.is_probable_prime factor && P.is_probable_prime q) then None
+    else begin
+      let p1 = N.sub factor N.one and q1 = N.sub q N.one in
+      let lam = N.div (N.mul p1 q1) (N.gcd p1 q1) in
+      match N.invert_mod pub.e lam with
+      | None -> None
+      | Some d -> Some { pub; p = factor; q; d }
+    end
+  end
+
+(* Line-oriented canonical key serialization, mirroring the
+   certificate encoding in x509lite. *)
+
+let decode_fields s =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.index_opt line ':' with
+        | None -> invalid_arg "Rsa: malformed key encoding"
+        | Some i ->
+          Hashtbl.replace tbl (String.sub line 0 i)
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1))))
+    (String.split_on_char '\n' s);
+  fun key ->
+    match Hashtbl.find_opt tbl key with
+    | Some v -> N.of_string ("0x" ^ v)
+    | None -> invalid_arg ("Rsa: missing field " ^ key)
+
+let encode_public pub =
+  Printf.sprintf "rsa-n: %s\nrsa-e: %s\n" (N.to_hex pub.n) (N.to_hex pub.e)
+
+let decode_public s =
+  let get = decode_fields s in
+  { n = get "rsa-n"; e = get "rsa-e" }
+
+let encode_private k =
+  encode_public k.pub
+  ^ Printf.sprintf "rsa-p: %s\nrsa-q: %s\nrsa-d: %s\n" (N.to_hex k.p)
+      (N.to_hex k.q) (N.to_hex k.d)
+
+let decode_private s =
+  let get = decode_fields s in
+  let k =
+    {
+      pub = { n = get "rsa-n"; e = get "rsa-e" };
+      p = get "rsa-p";
+      q = get "rsa-q";
+      d = get "rsa-d";
+    }
+  in
+  if not (N.equal k.pub.n (N.mul k.p k.q)) then
+    invalid_arg "Rsa.decode_private: n <> p*q";
+  k
+
+let well_formed_modulus n ~bits =
+  N.num_bits n = bits
+  && N.is_odd n
+  && P.trial_division n = None
+  && not (P.is_probable_prime n)

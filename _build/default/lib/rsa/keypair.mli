@@ -1,0 +1,81 @@
+(** RSA key generation, including the flawed flows behind the paper's
+    weak keys, plus textbook encryption and SHA-256 signatures. *)
+
+type public = { n : Bignum.Nat.t; e : Bignum.Nat.t }
+
+type private_key = {
+  pub : public;
+  p : Bignum.Nat.t;
+  q : Bignum.Nat.t;
+  d : Bignum.Nat.t;
+}
+
+type prime_style =
+  | Openssl  (** trial-division sieve rejecting p with small factors of p-1;
+                 satisfies the Mironov fingerprint *)
+  | Plain  (** reject-and-retry without the sieve; the [not-OpenSSL]
+               bucket of Table 5 *)
+
+val default_e : Bignum.Nat.t
+(** 65537. *)
+
+val generate :
+  ?style:prime_style -> gen:(int -> string) -> bits:int -> unit -> private_key
+(** [generate ~gen ~bits ()] draws two distinct [bits/2]-bit primes
+    from [gen] and assembles a keypair with exponent {!default_e}.
+    @raise Invalid_argument if [bits < 32] or odd. *)
+
+val generate_on_device :
+  ?style:prime_style -> rng:Entropy.Device_rng.t -> bits:int -> unit ->
+  private_key
+(** Key generation as a network device performs it: the first prime is
+    drawn from the boot-time pool; the device then signals
+    {!Entropy.Device_rng.note_first_prime_done} (letting per-device
+    entropy in, when the profile allows) before drawing the second.
+    Devices with a getrandom(2) profile are seeded properly first, so
+    their keys are strong. This one function generates both weak and
+    strong keys depending on the profile — the experiment knobs live in
+    {!Entropy.Device_rng.profile}, not here. *)
+
+val is_consistent : private_key -> bool
+(** Internal consistency: [n = p*q], both prime, [e*d = 1] modulo
+    [lcm (p-1) (q-1)]. *)
+
+val encrypt : public -> Bignum.Nat.t -> Bignum.Nat.t
+(** Textbook RSA: [m^e mod n]. @raise Invalid_argument if [m >= n]. *)
+
+val decrypt : private_key -> Bignum.Nat.t -> Bignum.Nat.t
+
+val decrypt_crt : private_key -> Bignum.Nat.t -> Bignum.Nat.t
+(** Same result as {!decrypt} via the Chinese Remainder Theorem — two
+    half-size exponentiations plus Garner recombination, the standard
+    ~4x speedup every real implementation uses. *)
+
+val sign : private_key -> string -> Bignum.Nat.t
+(** PKCS#1-v1.5-shaped signature over the SHA-256 digest of the
+    message (padding [0x01 ff.. 00 || digest] to the modulus size). *)
+
+val verify : public -> string -> Bignum.Nat.t -> bool
+
+val recover_private :
+  public -> factor:Bignum.Nat.t -> private_key option
+(** What the attacker does after batch GCD: given a public key and one
+    prime factor of its modulus, rebuild the full private key. [None]
+    if [factor] does not actually divide the modulus or the division
+    leaves a non-prime cofactor. *)
+
+val encode_private : private_key -> string
+(** Canonical text serialization (field-per-line, hex values). *)
+
+val decode_private : string -> private_key
+(** Inverse of {!encode_private}.
+    @raise Invalid_argument on malformed input. *)
+
+val encode_public : public -> string
+val decode_public : string -> public
+
+val well_formed_modulus : Bignum.Nat.t -> bits:int -> bool
+(** Whether a modulus is the product of two primes of [bits/2] bits,
+    as far as cheap checks can tell: correct size, odd, not prime
+    itself, no tiny prime factor (the paper's "non-well-formed moduli
+    from bit errors" test inverts this). *)

@@ -1,0 +1,1 @@
+lib/x509lite/certificate.ml: Bignum Buffer Date Dn Format Hashes Hashtbl List Rsa Stdlib String

@@ -1,0 +1,1 @@
+lib/x509lite/certificate.mli: Bignum Date Dn Format Rsa

@@ -1,0 +1,1 @@
+lib/x509lite/date.ml: Format Int Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/x509lite/date.mli: Format

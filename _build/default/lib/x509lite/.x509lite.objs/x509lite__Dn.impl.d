@@ -1,0 +1,1 @@
+lib/x509lite/dn.ml: Buffer Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/x509lite/dn.mli: Format

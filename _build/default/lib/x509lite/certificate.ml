@@ -1,0 +1,108 @@
+module N = Bignum.Nat
+
+type t = {
+  serial : N.t;
+  subject : Dn.t;
+  issuer : Dn.t;
+  subject_alt_names : string list;
+  not_before : Date.t;
+  not_after : Date.t;
+  public_key : Rsa.Keypair.public;
+  signature : N.t;
+}
+
+(* Line-oriented canonical encoding. Values that may contain newlines
+   do not occur (DN escaping covers commas; SANs are hostnames). *)
+let tbs_encoding t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("serial: " ^ N.to_hex t.serial ^ "\n");
+  Buffer.add_string buf ("subject: " ^ Dn.to_string t.subject ^ "\n");
+  Buffer.add_string buf ("issuer: " ^ Dn.to_string t.issuer ^ "\n");
+  Buffer.add_string buf
+    ("san: " ^ String.concat ";" t.subject_alt_names ^ "\n");
+  Buffer.add_string buf ("not-before: " ^ Date.to_string t.not_before ^ "\n");
+  Buffer.add_string buf ("not-after: " ^ Date.to_string t.not_after ^ "\n");
+  Buffer.add_string buf ("rsa-n: " ^ N.to_hex t.public_key.Rsa.Keypair.n ^ "\n");
+  Buffer.add_string buf ("rsa-e: " ^ N.to_hex t.public_key.Rsa.Keypair.e ^ "\n");
+  Buffer.contents buf
+
+let unsigned ~serial ~subject ~subject_alt_names ~not_before ~not_after
+    ~public_key ~issuer =
+  {
+    serial;
+    subject;
+    issuer;
+    subject_alt_names;
+    not_before;
+    not_after;
+    public_key;
+    signature = N.zero;
+  }
+
+let self_sign ~serial ~subject ?(subject_alt_names = []) ~not_before
+    ~not_after ~key () =
+  let c =
+    unsigned ~serial ~subject ~subject_alt_names ~not_before ~not_after
+      ~public_key:key.Rsa.Keypair.pub ~issuer:subject
+  in
+  { c with signature = Rsa.Keypair.sign key (tbs_encoding c) }
+
+let sign_with ~serial ~subject ?(subject_alt_names = []) ~not_before
+    ~not_after ~subject_key ~issuer ~issuer_key () =
+  let c =
+    unsigned ~serial ~subject ~subject_alt_names ~not_before ~not_after
+      ~public_key:subject_key ~issuer
+  in
+  { c with signature = Rsa.Keypair.sign issuer_key (tbs_encoding c) }
+
+let verify_signature t issuer_pub =
+  Rsa.Keypair.verify issuer_pub (tbs_encoding t) t.signature
+
+let is_self_signed t =
+  Dn.equal t.subject t.issuer && verify_signature t t.public_key
+
+let encode t = tbs_encoding t ^ "signature: " ^ N.to_hex t.signature ^ "\n"
+let fingerprint t = Hashes.Sha256.hexdigest (encode t)
+
+let decode s =
+  let field line =
+    match String.index_opt line ':' with
+    | None -> invalid_arg "Certificate.decode: missing colon"
+    | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun line -> if line <> "" then begin
+       let k, v = field line in
+       Hashtbl.replace tbl k v
+     end)
+    (String.split_on_char '\n' s);
+  let get k =
+    match Hashtbl.find_opt tbl k with
+    | Some v -> v
+    | None -> invalid_arg ("Certificate.decode: missing field " ^ k)
+  in
+  let hex v = N.of_string ("0x" ^ v) in
+  {
+    serial = hex (get "serial");
+    subject = Dn.of_string (get "subject");
+    issuer = Dn.of_string (get "issuer");
+    subject_alt_names =
+      (match get "san" with
+      | "" -> []
+      | v -> String.split_on_char ';' v);
+    not_before = Date.of_string (get "not-before");
+    not_after = Date.of_string (get "not-after");
+    public_key = { Rsa.Keypair.n = hex (get "rsa-n"); e = hex (get "rsa-e") };
+    signature = hex (get "signature");
+  }
+
+let substitute_public_key t pub = { t with public_key = pub }
+
+let pp fmt t =
+  Format.fprintf fmt "Certificate[%s -> %s, n=%s...]"
+    (Dn.to_string t.subject) (Dn.to_string t.issuer)
+    (let h = N.to_hex t.public_key.Rsa.Keypair.n in
+     String.sub h 0 (Stdlib.min 12 (String.length h)))

@@ -1,0 +1,79 @@
+(* Civil-date conversion uses Howard Hinnant's days_from_civil
+   algorithm, which is exact over the proleptic Gregorian calendar. *)
+
+type t = int (* days since 1970-01-01 *)
+
+let is_leap y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap y then 29 else 28
+  | _ -> invalid_arg "Date: bad month"
+
+let of_ymd y m d =
+  if m < 1 || m > 12 then invalid_arg "Date.of_ymd: bad month";
+  if d < 1 || d > days_in_month y m then invalid_arg "Date.of_ymd: bad day";
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let m' = if m > 2 then m - 3 else m + 9 in
+  let doy = (((153 * m') + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let to_ymd z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let of_days d = d
+let to_days d = d
+let compare = Stdlib.compare
+let equal = Int.equal
+let ( <= ) a b = a <= b
+let ( < ) a b = a < b
+let add_days t n = t + n
+
+let add_months t n =
+  let y, m, d = to_ymd t in
+  let total = ((y * 12) + (m - 1)) + n in
+  let y' = total / 12 and m' = (total mod 12) + 1 in
+  let y', m' = if m' < 1 then (y' - 1, m' + 12) else (y', m') in
+  of_ymd y' m' (Stdlib.min d (days_in_month y' m'))
+
+let diff_days a b = a - b
+
+let months_between a b =
+  let ya, ma, _ = to_ymd a and yb, mb, _ = to_ymd b in
+  ((ya - yb) * 12) + (ma - mb)
+
+let first_of_month t =
+  let y, m, _ = to_ymd t in
+  of_ymd y m 1
+
+let to_string t =
+  let y, m, d = to_ymd t in
+  Printf.sprintf "%04d-%02d-%02d" y m d
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+    match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+    | Some y, Some m, Some d -> of_ymd y m d
+    | _ -> invalid_arg "Date.of_string: not numeric")
+  | _ -> invalid_arg "Date.of_string: expected YYYY-MM-DD"
+
+let month_label t =
+  let y, m, _ = to_ymd t in
+  Printf.sprintf "%02d/%04d" m y
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,41 @@
+(** Calendar dates, as days since the civil epoch 1970-01-01.
+
+    The scan corpus spans July 2010 to May 2016 in monthly steps, so
+    the module leans toward month arithmetic and [MM/YYYY] labels. *)
+
+type t
+
+val of_ymd : int -> int -> int -> t
+(** [of_ymd year month day]. @raise Invalid_argument on nonsense. *)
+
+val to_ymd : t -> int * int * int
+val of_days : int -> t
+val to_days : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+
+val add_days : t -> int -> t
+val add_months : t -> int -> t
+(** Clamps the day-of-month (Jan 31 + 1 month = Feb 28/29). *)
+
+val diff_days : t -> t -> int
+(** [diff_days a b = to_days a - to_days b]. *)
+
+val months_between : t -> t -> int
+(** Whole months from [b] to [a] ignoring day-of-month. *)
+
+val first_of_month : t -> t
+
+val to_string : t -> string
+(** ISO [YYYY-MM-DD]. *)
+
+val of_string : string -> t
+(** Parses [YYYY-MM-DD]. @raise Invalid_argument on bad input. *)
+
+val month_label : t -> string
+(** [MM/YYYY], the axis-label format of the paper's figures. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type attr = CN | O | OU | C | L | ST | Email | Unstructured of string
+type t = (attr * string) list
+
+let attr_to_string = function
+  | CN -> "CN"
+  | O -> "O"
+  | OU -> "OU"
+  | C -> "C"
+  | L -> "L"
+  | ST -> "ST"
+  | Email -> "emailAddress"
+  | Unstructured s -> s
+
+let attr_of_string = function
+  | "CN" -> CN
+  | "O" -> O
+  | "OU" -> OU
+  | "C" -> C
+  | "L" -> L
+  | "ST" -> ST
+  | "emailAddress" -> Email
+  | s -> Unstructured s
+
+let make ?(extra = []) ?cn ?o ?ou () =
+  let opt attr v = match v with None -> [] | Some v -> [ (attr, v) ] in
+  opt CN cn @ opt O o @ opt OU ou @ extra
+
+let get t attr =
+  List.find_map (fun (a, v) -> if a = attr then Some v else None) t
+
+let get_all t attr =
+  List.filter_map (fun (a, v) -> if a = attr then Some v else None) t
+
+let common_name t = get t CN
+let organization t = get t O
+let organizational_unit t = get t OU
+
+let escape v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | ',' | '\\' | '=' ->
+        Buffer.add_char buf '\\';
+        Buffer.add_char buf c
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let to_string t =
+  String.concat ", "
+    (List.map (fun (a, v) -> attr_to_string a ^ "=" ^ escape v) t)
+
+(* Split on unescaped commas, then on the first unescaped '='. *)
+let of_string s =
+  let parts = ref [] and buf = Buffer.create 16 in
+  let i = ref 0 and n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+    | '\\' when !i + 1 < n ->
+      Buffer.add_char buf '\\';
+      Buffer.add_char buf s.[!i + 1];
+      incr i
+    | ',' ->
+      parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  parts := Buffer.contents buf :: !parts;
+  let unescape v =
+    let out = Buffer.create (String.length v) in
+    let j = ref 0 and m = String.length v in
+    while !j < m do
+      (if v.[!j] = '\\' && !j + 1 < m then begin
+         incr j;
+         Buffer.add_char out v.[!j]
+       end
+       else Buffer.add_char out v.[!j]);
+      incr j
+    done;
+    Buffer.contents out
+  in
+  let parse_part part =
+    let part = String.trim part in
+    (* Find the first '=' not preceded by a backslash. *)
+    let rec find k =
+      if k >= String.length part then
+        invalid_arg "Dn.of_string: missing '=' in component"
+      else if part.[k] = '=' && (k = 0 || part.[k - 1] <> '\\') then k
+      else find (k + 1)
+    in
+    let eq = find 0 in
+    let a = String.sub part 0 eq in
+    let v = String.sub part (eq + 1) (String.length part - eq - 1) in
+    (attr_of_string (unescape a), unescape v)
+  in
+  List.rev_map parse_part (List.filter (fun p -> String.trim p <> "") !parts)
+
+let equal = ( = )
+let compare = Stdlib.compare
+let pp fmt t = Format.pp_print_string fmt (to_string t)

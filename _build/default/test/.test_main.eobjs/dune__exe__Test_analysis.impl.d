@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Bignum Float Lazy List Netsim Printf Rsa String Worlds X509lite

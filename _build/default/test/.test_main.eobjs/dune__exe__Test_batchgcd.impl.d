@@ -1,0 +1,1 @@
+test/test_batchgcd.ml: Alcotest Array Batchgcd Bignum Char List Printf QCheck2 QCheck_alcotest Random Rsa String

@@ -1,0 +1,1 @@
+test/test_entropy.ml: Alcotest Entropy List QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Analysis Array Bignum Fingerprint Lazy List Netsim Printf Rsa String Weakkeys Worlds X509lite

@@ -1,0 +1,1 @@
+test/test_fingerprint.ml: Alcotest Array Batchgcd Bignum Char Fingerprint Lazy List Netsim Printf Random Rsa String X509lite

@@ -1,0 +1,1 @@
+test/test_hashes.ml: Alcotest Char Hashes List Printf QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_montgomery.ml: Alcotest Bignum Char Option QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Bignum Char Fun List QCheck2 QCheck_alcotest Random String

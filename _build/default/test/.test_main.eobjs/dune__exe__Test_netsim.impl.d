@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Batchgcd Bignum Float Lazy List Netsim Option Printf Rsa String Worlds X509lite

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Analysis Array Batchgcd Bignum Fingerprint Hashtbl Lazy List Netsim Option Printf Rsa Stdlib String Weakkeys Worlds X509lite

@@ -1,0 +1,1 @@
+test/test_prime.ml: Alcotest Array Bignum Char List QCheck2 QCheck_alcotest Random String

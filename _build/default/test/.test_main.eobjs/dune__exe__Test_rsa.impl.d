@@ -1,0 +1,1 @@
+test/test_rsa.ml: Alcotest Array Bignum Char Entropy Hashes List QCheck2 QCheck_alcotest Random Rsa String

@@ -1,0 +1,1 @@
+test/test_x509.ml: Alcotest Bignum Char Lazy List Printf QCheck2 QCheck_alcotest Random Rsa String X509lite

@@ -1,0 +1,1 @@
+test/test_zz.ml: Alcotest Bignum Char List Printf QCheck2 QCheck_alcotest String

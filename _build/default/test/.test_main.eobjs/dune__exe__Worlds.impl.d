@@ -1,0 +1,1 @@
+test/worlds.ml: Char Lazy Netsim Random String Weakkeys

@@ -1,0 +1,241 @@
+(* Batch GCD tests: product/remainder tree invariants, equivalence of
+   naive / single-tree / k-subset implementations, planted-factor
+   recovery, parallel executor behaviour. *)
+
+module N = Bignum.Nat
+module PT = Batchgcd.Product_tree
+module RT = Batchgcd.Remainder_tree
+module BG = Batchgcd.Batch_gcd
+module Par = Batchgcd.Parallel
+
+let nat = Alcotest.testable N.pp N.equal
+
+let mk_gen seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+(* A corpus with planted structure: [n_clean] moduli with unique
+   primes, plus [shared] moduli all sharing one prime. *)
+let corpus ?(bits = 96) ~seed ~n_clean ~n_shared () =
+  let gen = mk_gen seed in
+  let prime () = Bignum.Prime.generate ~gen ~bits:(bits / 2) in
+  let clean = Array.init n_clean (fun _ -> N.mul (prime ()) (prime ())) in
+  let p_shared = prime () in
+  let shared = Array.init n_shared (fun _ -> N.mul p_shared (prime ())) in
+  (Array.append clean shared, p_shared)
+
+(* ---------------- Product tree ---------------- *)
+
+let test_product_tree_root () =
+  let inputs = Array.map N.of_int [| 3; 5; 7; 11; 13 |] in
+  let t = PT.build inputs in
+  Alcotest.check nat "root = product" (N.of_int (3 * 5 * 7 * 11 * 13))
+    (PT.root t);
+  Alcotest.(check int) "depth for 5 leaves" 4 (PT.depth t);
+  Alcotest.(check bool) "leaves preserved" true
+    (Array.for_all2 N.equal inputs (PT.leaves t))
+
+let test_product_tree_level_invariant () =
+  (* Every level's product equals the root. *)
+  let gen = mk_gen 3 in
+  let inputs = Array.init 13 (fun _ -> N.add (N.random_bits gen 64) N.one) in
+  let t = PT.build inputs in
+  for k = 0 to PT.depth t - 1 do
+    let prod = Array.fold_left N.mul N.one (PT.level t k) in
+    Alcotest.check nat (Printf.sprintf "level %d" k) (PT.root t) prod
+  done
+
+let test_product_tree_singleton () =
+  let t = PT.build [| N.of_int 42 |] in
+  Alcotest.(check int) "depth 1" 1 (PT.depth t);
+  Alcotest.check nat "root is input" (N.of_int 42) (PT.root t)
+
+let test_product_tree_rejects () =
+  Alcotest.check_raises "empty" (Invalid_argument "Product_tree.build: empty")
+    (fun () -> ignore (PT.build [||]));
+  Alcotest.check_raises "zero" (Invalid_argument "Product_tree.build: zero input")
+    (fun () -> ignore (PT.build [| N.one; N.zero |]))
+
+(* ---------------- Remainder tree ---------------- *)
+
+let test_remainder_tree_matches_direct () =
+  let gen = mk_gen 4 in
+  let inputs = Array.init 11 (fun _ -> N.add (N.random_bits gen 80) N.two) in
+  let t = PT.build inputs in
+  let v = N.random_bits gen 900 in
+  let rs = RT.remainders t v in
+  let rs2 = RT.remainders_mod_square t v in
+  Array.iteri
+    (fun i m ->
+      Alcotest.check nat (Printf.sprintf "plain %d" i) (N.rem v m) rs.(i);
+      Alcotest.check nat
+        (Printf.sprintf "squared %d" i)
+        (N.rem v (N.sqr m))
+        rs2.(i))
+    inputs
+
+(* ---------------- Batch GCD ---------------- *)
+
+let test_planted_factor_recovered () =
+  let moduli, p_shared = corpus ~seed:5 ~n_clean:10 ~n_shared:3 () in
+  let findings = BG.factor_batch moduli in
+  Alcotest.(check int) "three moduli flagged" 3 (List.length findings);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "flagged index in shared range" true
+        (f.BG.index >= 10);
+      Alcotest.check nat "divisor is the planted prime" p_shared f.BG.divisor)
+    findings
+
+let test_clean_corpus_no_findings () =
+  let moduli, _ = corpus ~seed:6 ~n_clean:12 ~n_shared:0 () in
+  Alcotest.(check int) "no findings" 0 (List.length (BG.factor_batch moduli));
+  Alcotest.(check int) "naive agrees" 0 (List.length (BG.naive moduli))
+
+let test_all_implementations_agree () =
+  let moduli, _ = corpus ~seed:7 ~n_clean:9 ~n_shared:4 () in
+  let batch = BG.factor_batch moduli in
+  Alcotest.(check bool) "naive = batch" true
+    (BG.findings_equal (BG.naive moduli) batch);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "subsets k=%d = batch" k)
+        true
+        (BG.findings_equal (BG.factor_subsets ~k moduli) batch))
+    [ 1; 2; 3; 5; 13; 100 ]
+
+let test_duplicate_moduli () =
+  let gen = mk_gen 8 in
+  let p = Bignum.Prime.generate ~gen ~bits:48 in
+  let q = Bignum.Prime.generate ~gen ~bits:48 in
+  let r = Bignum.Prime.generate ~gen ~bits:48 in
+  let m = N.mul p q in
+  let other = N.mul r (Bignum.Prime.generate ~gen ~bits:48) in
+  let findings = BG.factor_batch [| m; m; other |] in
+  Alcotest.(check int) "both copies flagged" 2 (List.length findings);
+  List.iter
+    (fun f ->
+      Alcotest.check nat "divisor is whole modulus" m f.BG.divisor)
+    findings;
+  Alcotest.(check int) "dedup removes copy" 2
+    (Array.length (BG.dedup [| m; m; other |]))
+
+let test_ibm_clique_fully_shared () =
+  (* Every prime of an IBM modulus is shared with other pool moduli,
+     so batch GCD reports the full modulus as divisor. *)
+  let moduli = Array.of_list (Rsa.Ibm.all_moduli ~bits:96) in
+  let findings = BG.factor_batch moduli in
+  Alcotest.(check int) "all 36 flagged" 36 (List.length findings);
+  List.iter
+    (fun f -> Alcotest.check nat "fully factored" f.BG.modulus f.BG.divisor)
+    findings
+
+let test_pairwise_hits () =
+  let moduli, p_shared = corpus ~seed:9 ~n_clean:3 ~n_shared:3 () in
+  let hits = BG.naive_pairwise_hits moduli in
+  Alcotest.(check int) "3 shared moduli = 3 pairs" 3 (List.length hits);
+  List.iter
+    (fun (i, j, g) ->
+      Alcotest.(check bool) "ordered" true (i < j);
+      Alcotest.check nat "gcd is planted prime" p_shared g)
+    hits
+
+let test_two_disjoint_groups () =
+  (* Two independent shared primes must not cross-contaminate. *)
+  let gen = mk_gen 10 in
+  let prime () = Bignum.Prime.generate ~gen ~bits:48 in
+  let pa = prime () and pb = prime () in
+  let group a = Array.init 2 (fun _ -> N.mul a (prime ())) in
+  let moduli = Array.append (group pa) (group pb) in
+  let findings = BG.factor_batch moduli in
+  Alcotest.(check int) "all four flagged" 4 (List.length findings);
+  List.iter
+    (fun f ->
+      let expected = if f.BG.index < 2 then pa else pb in
+      Alcotest.check nat "right prime per group" expected f.BG.divisor)
+    findings
+
+let test_empty_and_single () =
+  Alcotest.(check int) "empty" 0 (List.length (BG.factor_batch [||]));
+  Alcotest.(check int) "single" 0
+    (List.length (BG.factor_batch [| N.of_int 35 |]));
+  Alcotest.(check int) "subsets empty" 0
+    (List.length (BG.factor_subsets ~k:4 [||]))
+
+(* ---------------- Parallel executor ---------------- *)
+
+let test_parallel_map_order () =
+  let jobs = Array.init 100 (fun i -> i) in
+  let out = Par.map ~domains:4 (fun i -> i * i) jobs in
+  Alcotest.(check (array int)) "order preserved"
+    (Array.map (fun i -> i * i) jobs)
+    out
+
+let test_parallel_map_exception () =
+  Alcotest.(check bool) "exception propagates" true
+    (try
+       ignore (Par.map ~domains:3 (fun i -> if i = 5 then failwith "boom" else i)
+           (Array.init 10 (fun i -> i)));
+       false
+     with Par.Worker_failure (Failure msg) -> msg = "boom")
+
+let test_parallel_subsets_match_sequential () =
+  let moduli, _ = corpus ~seed:11 ~n_clean:8 ~n_shared:4 () in
+  Alcotest.(check bool) "domains=1 vs domains=4" true
+    (BG.findings_equal
+       (BG.factor_subsets ~domains:1 ~k:4 moduli)
+       (BG.factor_subsets ~domains:4 ~k:4 moduli))
+
+(* ---------------- Properties ---------------- *)
+
+let prop_implementations_agree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"naive = batch = subsets (random corpora)"
+       ~count:10
+       QCheck2.Gen.(
+         triple (int_range 0 8) (int_range 0 5) (int_range 1 6))
+       (fun (n_clean, n_shared, k) ->
+         let moduli, _ =
+           corpus ~bits:64 ~seed:(n_clean + (17 * n_shared) + (289 * k))
+             ~n_clean ~n_shared ()
+         in
+         let batch = BG.factor_batch moduli in
+         BG.findings_equal (BG.naive moduli) batch
+         && BG.findings_equal (BG.factor_subsets ~k moduli) batch))
+
+let prop_divisor_divides =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"divisors divide their moduli" ~count:10
+       (QCheck2.Gen.int_range 0 1000)
+       (fun seed ->
+         let moduli, _ = corpus ~bits:64 ~seed ~n_clean:5 ~n_shared:3 () in
+         List.for_all
+           (fun f -> N.is_zero (N.rem f.BG.modulus f.BG.divisor))
+           (BG.factor_batch moduli)))
+
+let tests =
+  [
+    Alcotest.test_case "product tree root" `Quick test_product_tree_root;
+    Alcotest.test_case "product tree levels" `Quick
+      test_product_tree_level_invariant;
+    Alcotest.test_case "product tree singleton" `Quick test_product_tree_singleton;
+    Alcotest.test_case "product tree rejects" `Quick test_product_tree_rejects;
+    Alcotest.test_case "remainder tree" `Quick test_remainder_tree_matches_direct;
+    Alcotest.test_case "planted factor recovered" `Quick
+      test_planted_factor_recovered;
+    Alcotest.test_case "clean corpus" `Quick test_clean_corpus_no_findings;
+    Alcotest.test_case "implementations agree" `Quick
+      test_all_implementations_agree;
+    Alcotest.test_case "duplicate moduli" `Quick test_duplicate_moduli;
+    Alcotest.test_case "ibm clique" `Quick test_ibm_clique_fully_shared;
+    Alcotest.test_case "pairwise hits" `Quick test_pairwise_hits;
+    Alcotest.test_case "two disjoint groups" `Quick test_two_disjoint_groups;
+    Alcotest.test_case "empty and single" `Quick test_empty_and_single;
+    Alcotest.test_case "parallel map order" `Quick test_parallel_map_order;
+    Alcotest.test_case "parallel exception" `Quick test_parallel_map_exception;
+    Alcotest.test_case "parallel = sequential" `Quick
+      test_parallel_subsets_match_sequential;
+    prop_implementations_agree;
+    prop_divisor_divides;
+  ]

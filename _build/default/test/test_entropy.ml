@@ -1,0 +1,148 @@
+(* Tests for the entropy-hole model: pool determinism, boot-state
+   collisions, divergence after the first prime, getrandom semantics. *)
+
+module Pool = Entropy.Pool
+module Rng = Entropy.Device_rng
+
+let test_pool_determinism () =
+  let a = Pool.create () and b = Pool.create () in
+  Pool.mix a "input-1";
+  Pool.mix b "input-1";
+  Alcotest.(check string) "same mixes, same stream" (Pool.read_urandom a 32)
+    (Pool.read_urandom b 32);
+  Pool.mix a "only-a";
+  Alcotest.(check bool) "extra mix diverges" false
+    (Pool.read_urandom a 32 = Pool.read_urandom b 32)
+
+let test_pool_urandom_never_blocks () =
+  let p = Pool.create () in
+  Alcotest.(check int) "empty pool still answers" 64
+    (String.length (Pool.read_urandom p 64))
+
+let test_pool_random_blocks () =
+  let p = Pool.create () in
+  Alcotest.(check bool) "empty pool blocks /dev/random" true
+    (Pool.read_random p 16 = None);
+  Pool.mix p ~entropy_bits:128 "16 bytes of real entropy..";
+  (match Pool.read_random p 16 with
+  | Some s -> Alcotest.(check int) "read works when credited" 16 (String.length s)
+  | None -> Alcotest.fail "should not block");
+  Alcotest.(check bool) "credit was consumed" true (Pool.read_random p 16 = None)
+
+let test_pool_entropy_accounting () =
+  let p = Pool.create () in
+  Alcotest.(check int) "fresh pool" 0 (Pool.entropy_estimate p);
+  Pool.mix p ~entropy_bits:100 "x";
+  Alcotest.(check int) "credited" 100 (Pool.entropy_estimate p);
+  Pool.mix p ~entropy_bits:100000 "y";
+  Alcotest.(check int) "saturates at 4096" 4096 (Pool.entropy_estimate p)
+
+let test_pool_copy () =
+  let p = Pool.create () in
+  Pool.mix p "seed";
+  let q = Pool.copy p in
+  Alcotest.(check string) "copies in same state" (Pool.fingerprint p)
+    (Pool.fingerprint q);
+  Alcotest.(check string) "same output" (Pool.read_urandom p 16)
+    (Pool.read_urandom q 16)
+
+let test_boot_state_collision () =
+  (* Two devices, same model, same boot state: identical streams. *)
+  let profile = Rng.vulnerable_shared_prime "router-x" ~bits:4 in
+  let a = Rng.boot profile ~device_unique:"dev-a" ~boot_state:3 in
+  let b = Rng.boot profile ~device_unique:"dev-b" ~boot_state:3 in
+  Alcotest.(check string) "colliding boot states" (Rng.gen a 32) (Rng.gen b 32)
+
+let test_boot_state_space_reduction () =
+  (* boot_state is reduced mod 2^bits, so states 1 and 17 collide
+     under a 4-bit profile. *)
+  let profile = Rng.vulnerable_shared_prime "router-x" ~bits:4 in
+  let a = Rng.boot profile ~device_unique:"a" ~boot_state:1 in
+  let b = Rng.boot profile ~device_unique:"b" ~boot_state:17 in
+  Alcotest.(check string) "states collide mod 16" (Rng.gen a 16) (Rng.gen b 16)
+
+let test_divergence_after_first_prime () =
+  let profile = Rng.vulnerable_shared_prime "router-x" ~bits:4 in
+  let a = Rng.boot profile ~device_unique:"dev-a" ~boot_state:3 in
+  let b = Rng.boot profile ~device_unique:"dev-b" ~boot_state:3 in
+  let _ = Rng.gen a 32 and _ = Rng.gen b 32 in
+  Rng.note_first_prime_done a;
+  Rng.note_first_prime_done b;
+  Alcotest.(check bool) "device-unique entropy diverges streams" false
+    (Rng.gen a 32 = Rng.gen b 32)
+
+let test_fully_deterministic_profile () =
+  (* The IBM failure mode: no divergence even after the first prime. *)
+  let profile = Rng.fully_deterministic "ibm-rsa2" ~bits:3 in
+  let a = Rng.boot profile ~device_unique:"dev-a" ~boot_state:5 in
+  let b = Rng.boot profile ~device_unique:"dev-b" ~boot_state:5 in
+  let _ = Rng.gen a 32 and _ = Rng.gen b 32 in
+  Rng.note_first_prime_done a;
+  Rng.note_first_prime_done b;
+  Alcotest.(check string) "still identical after first prime" (Rng.gen a 32)
+    (Rng.gen b 32)
+
+let test_healthy_profile_unique () =
+  let profile = Rng.healthy "web-server" in
+  let a = Rng.boot profile ~device_unique:"a" ~boot_state:3 in
+  let b = Rng.boot profile ~device_unique:"b" ~boot_state:3 in
+  Alcotest.(check bool) "healthy devices never collide" false
+    (Rng.gen a 32 = Rng.gen b 32)
+
+let test_getrandom_semantics () =
+  let vuln = Rng.vulnerable_shared_prime "router-x" ~bits:4 in
+  let fixed = Rng.patched vuln in
+  let a = Rng.boot vuln ~device_unique:"a" ~boot_state:3 in
+  let b = Rng.boot fixed ~device_unique:"b" ~boot_state:3 in
+  Alcotest.(check bool) "legacy never blocks" false (Rng.is_blocking a);
+  Alcotest.(check bool) "patched blocks until seeded" true (Rng.is_blocking b);
+  Rng.properly_seed b;
+  Alcotest.(check bool) "unblocked after seeding" false (Rng.is_blocking b)
+
+let test_patched_devices_unique_keystreams () =
+  let profile = Rng.patched (Rng.vulnerable_shared_prime "router-x" ~bits:2) in
+  let a = Rng.boot profile ~device_unique:"a" ~boot_state:1 in
+  let b = Rng.boot profile ~device_unique:"b" ~boot_state:1 in
+  Rng.properly_seed a;
+  Rng.properly_seed b;
+  Alcotest.(check bool) "seeded devices diverge" false
+    (Rng.gen a 32 = Rng.gen b 32)
+
+let prop_boot_collision_rate =
+  (* With b bits of boot entropy, two random devices collide with
+     probability about 2^-b; across 64 devices at 4 bits collisions
+     are guaranteed by pigeonhole. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"pigeonhole collisions at 4 bits" ~count:5
+       (QCheck2.Gen.int_range 0 10000)
+       (fun base ->
+         let profile = Rng.vulnerable_shared_prime "r" ~bits:4 in
+         let fps =
+           List.init 64 (fun i ->
+               Rng.pool_fingerprint
+                 (Rng.boot profile ~device_unique:(string_of_int i)
+                    ~boot_state:(base + (i * 37))))
+         in
+         List.length (List.sort_uniq Stdlib.compare fps) <= 16))
+
+let tests =
+  [
+    Alcotest.test_case "pool determinism" `Quick test_pool_determinism;
+    Alcotest.test_case "urandom never blocks" `Quick
+      test_pool_urandom_never_blocks;
+    Alcotest.test_case "random blocks" `Quick test_pool_random_blocks;
+    Alcotest.test_case "entropy accounting" `Quick test_pool_entropy_accounting;
+    Alcotest.test_case "pool copy" `Quick test_pool_copy;
+    Alcotest.test_case "boot-state collision" `Quick test_boot_state_collision;
+    Alcotest.test_case "boot-state space reduction" `Quick
+      test_boot_state_space_reduction;
+    Alcotest.test_case "divergence after first prime" `Quick
+      test_divergence_after_first_prime;
+    Alcotest.test_case "fully deterministic profile" `Quick
+      test_fully_deterministic_profile;
+    Alcotest.test_case "healthy profile" `Quick test_healthy_profile_unique;
+    Alcotest.test_case "getrandom semantics" `Quick test_getrandom_semantics;
+    Alcotest.test_case "patched devices diverge" `Quick
+      test_patched_devices_unique_keystreams;
+    prop_boot_collision_rate;
+  ]

@@ -1,0 +1,278 @@
+(* Fingerprinting tests: subject rules against catalog identities,
+   factored-modulus recovery, shared-prime pools and overlaps, IBM
+   clique detection, OpenSSL fingerprint classification, bit-error
+   heuristics, Rimon detection on synthetic records. *)
+
+module N = Bignum.Nat
+module K = Rsa.Keypair
+module Dn = X509lite.Dn
+module Cert = X509lite.Certificate
+module Date = X509lite.Date
+module Rules = Fingerprint.Rules
+module Fp = Fingerprint.Factored
+module BG = Batchgcd.Batch_gcd
+
+let mk_gen seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+let key = lazy (K.generate ~gen:(mk_gen 50) ~bits:128 ())
+
+let cert_with ?(sans = []) dn =
+  Cert.self_sign ~serial:N.one ~subject:dn ~subject_alt_names:sans
+    ~not_before:(Date.of_ymd 2012 1 1)
+    ~not_after:(Date.of_ymd 2022 1 1)
+    ~key:(Lazy.force key) ()
+
+(* ---------------- Rules ---------------- *)
+
+let check_label name dn_or expected =
+  let got = Rules.of_certificate dn_or in
+  match (got, expected) with
+  | Some { Rules.vendor; _ }, Some e ->
+    Alcotest.(check string) name e vendor
+  | None, None -> ()
+  | Some { Rules.vendor; _ }, None ->
+    Alcotest.failf "%s: unexpected label %s" name vendor
+  | None, Some e -> Alcotest.failf "%s: expected %s, got none" name e
+
+let test_rules_subjects () =
+  let c dn = cert_with dn in
+  check_label "juniper" (c (Dn.make ~cn:"system generated" ())) (Some "Juniper");
+  check_label "cisco"
+    (c (Dn.make ~cn:"router" ~o:"Cisco Systems, Inc." ~ou:"RV220W" ()))
+    (Some "Cisco");
+  check_label "hp" (c (Dn.make ~cn:"ILO123" ~o:"Hewlett-Packard Development" ()))
+    (Some "HP");
+  check_label "dell imaging"
+    (c (Dn.make ~cn:"x" ~o:"Dell Inc." ~ou:"Dell Imaging Group" ()))
+    (Some "Dell");
+  check_label "generic" (c (Dn.make ~cn:"host1.example.net" ())) None;
+  check_label "ibm-style customer subject"
+    (c (Dn.make ~cn:"asm0001" ~o:"Acme Corp" ()))
+    None
+
+let test_rules_cisco_models () =
+  let model ou =
+    match
+      Rules.of_certificate
+        (cert_with (Dn.make ~cn:"router" ~o:"Cisco Systems, Inc." ~ou ()))
+    with
+    | Some { Rules.model_id; _ } -> model_id
+    | None -> None
+  in
+  Alcotest.(check (option string)) "rv220w" (Some "cisco-rv220w") (model "RV220W");
+  Alcotest.(check (option string)) "sa520" (Some "cisco-sa520") (model "SA520/540");
+  Alcotest.(check (option string)) "unknown ou" None (model "SomethingElse")
+
+let test_rules_fritzbox () =
+  check_label "fritz via SAN"
+    (cert_with ~sans:[ "fritz.box"; "www.fritz.box" ] (Dn.make ~cn:"10.0.0.1" ()))
+    (Some "AVM");
+  check_label "fritz via myfritz cn"
+    (cert_with (Dn.make ~cn:"r12345.myfritz.net" ()))
+    (Some "AVM");
+  check_label "bare ip octets unidentified"
+    (cert_with (Dn.make ~cn:"81.23.4.5" ()))
+    None
+
+let test_rules_content_hint () =
+  let dn =
+    Dn.make ~cn:"Default Common Name" ~o:"Default Organization"
+      ~ou:"Default Unit" ()
+  in
+  (match
+     Rules.of_certificate ~page_title:"SnapGear Management Console"
+       (cert_with dn)
+   with
+  | Some { Rules.vendor = "McAfee"; _ } -> ()
+  | _ -> Alcotest.fail "SnapGear page should label McAfee");
+  check_label "default names without content" (cert_with dn) None
+
+let test_rules_catalog_round_trip () =
+  (* Every identifiable catalog model's own identity must label back to
+     its own vendor. *)
+  List.iter
+    (fun (m : Netsim.Device_model.t) ->
+      let dn, sans = m.Netsim.Device_model.identity ~seed:"rules-test" in
+      let cert = cert_with ~sans dn in
+      match
+        ( Rules.of_certificate ?page_title:m.Netsim.Device_model.content_hint
+            cert,
+          m.Netsim.Device_model.id )
+      with
+      | Some { Rules.vendor; _ }, _ ->
+        Alcotest.(check string) (m.Netsim.Device_model.id ^ " vendor")
+          m.Netsim.Device_model.vendor vendor
+      | None, ("generic-web" | "ibm-rsa2") -> () (* unidentifiable by design *)
+      | None, "fritzbox" -> () (* the IP-octet fraction is unidentifiable *)
+      | None, id -> Alcotest.failf "%s: no label" id)
+    Netsim.Device_model.catalog
+
+(* ---------------- Factored ---------------- *)
+
+let planted ~seed ~shared ~unique =
+  let gen = mk_gen seed in
+  let prime () = Bignum.Prime.generate ~gen ~bits:48 in
+  let p = prime () in
+  let shared_moduli = List.init shared (fun _ -> N.mul p (prime ())) in
+  let unique_moduli = List.init unique (fun _ -> N.mul (prime ()) (prime ())) in
+  (p, Array.of_list (shared_moduli @ unique_moduli))
+
+let test_factored_recover_simple () =
+  let p, moduli = planted ~seed:51 ~shared:3 ~unique:5 in
+  let findings = BG.factor_batch moduli in
+  let factored, bad = Fp.recover findings in
+  Alcotest.(check int) "3 factored" 3 (List.length factored);
+  Alcotest.(check int) "none unrecovered" 0 (List.length bad);
+  List.iter
+    (fun (f : Fp.t) ->
+      Alcotest.(check bool) "p is the shared prime" true
+        (N.equal f.Fp.p p || N.equal f.Fp.q p);
+      Alcotest.(check bool) "product reconstructs" true
+        (N.equal f.Fp.modulus (N.mul f.Fp.p f.Fp.q)))
+    factored
+
+let test_factored_recover_clique () =
+  let moduli = Array.of_list (Rsa.Ibm.all_moduli ~bits:96) in
+  let findings = BG.factor_batch moduli in
+  let factored, bad = Fp.recover findings in
+  Alcotest.(check int) "36 factored" 36 (List.length factored);
+  Alcotest.(check int) "none unrecovered" 0 (List.length bad);
+  Alcotest.(check int) "9 distinct primes" 9 (List.length (Fp.primes factored))
+
+(* ---------------- Shared primes ---------------- *)
+
+let test_shared_prime_extrapolation () =
+  let p, moduli = planted ~seed:52 ~shared:4 ~unique:2 in
+  ignore p;
+  let findings = BG.factor_batch moduli in
+  let factored, _ = Fp.recover findings in
+  (* Label only the first factored modulus; extrapolation must label
+     the rest of the pool. *)
+  let entries =
+    List.mapi (fun i f -> (f, if i = 0 then Some "VendorX" else None)) factored
+  in
+  let t = Fingerprint.Shared_prime.build entries in
+  let ex = Fingerprint.Shared_prime.extrapolated t in
+  Alcotest.(check int) "three gained labels" 3 (List.length ex);
+  List.iter
+    (fun (_, v) -> Alcotest.(check string) "pool vendor" "VendorX" v)
+    ex;
+  Alcotest.(check int) "no overlaps" 0
+    (List.length (Fingerprint.Shared_prime.overlaps t))
+
+let test_shared_prime_overlap () =
+  let p, moduli = planted ~seed:53 ~shared:4 ~unique:0 in
+  ignore p;
+  let findings = BG.factor_batch moduli in
+  let factored, _ = Fp.recover findings in
+  let entries =
+    List.mapi
+      (fun i f -> (f, Some (if i < 2 then "Xerox" else "Dell")))
+      factored
+  in
+  let t = Fingerprint.Shared_prime.build entries in
+  match Fingerprint.Shared_prime.overlaps t with
+  | [ (a, b, _) ] ->
+    Alcotest.(check (pair string string)) "dell/xerox overlap" ("Dell", "Xerox")
+      (if a < b then (a, b) else (b, a))
+  | l -> Alcotest.failf "expected one overlap, got %d" (List.length l)
+
+(* ---------------- IBM clique ---------------- *)
+
+let test_ibm_clique_detection () =
+  let clique = Array.of_list (Rsa.Ibm.all_moduli ~bits:96) in
+  let _, star = planted ~seed:54 ~shared:5 ~unique:0 in
+  let moduli = Array.append clique star in
+  let findings = BG.factor_batch moduli in
+  let factored, _ = Fp.recover findings in
+  (match Fingerprint.Ibm_clique.detect factored with
+  | [ c ] ->
+    Alcotest.(check int) "36 moduli" 36 (List.length c.Fingerprint.Ibm_clique.moduli);
+    Alcotest.(check int) "9 primes" 9 (List.length c.Fingerprint.Ibm_clique.primes)
+  | l -> Alcotest.failf "expected exactly one clique, got %d" (List.length l));
+  (* The shared-first-prime star must NOT be reported as a clique. *)
+  let star_findings = BG.factor_batch star in
+  let star_factored, _ = Fp.recover star_findings in
+  Alcotest.(check int) "star is not a clique" 0
+    (List.length (Fingerprint.Ibm_clique.detect star_factored))
+
+(* ---------------- OpenSSL fingerprint ---------------- *)
+
+let test_openssl_classification () =
+  let gen = mk_gen 55 in
+  let openssl_primes =
+    List.init 6 (fun _ -> Bignum.Prime.generate_openssl_style ~gen ~bits:64)
+  in
+  Alcotest.(check string) "openssl primes satisfy" "satisfies"
+    (Fingerprint.Openssl_fp.verdict_to_string
+       (Fingerprint.Openssl_fp.classify openssl_primes));
+  (* Find a prime that fails the fingerprint. *)
+  let rec failing () =
+    let p = Bignum.Prime.generate ~gen ~bits:64 in
+    if Bignum.Prime.satisfies_openssl_fingerprint p then failing () else p
+  in
+  Alcotest.(check string) "one failing prime flips the verdict"
+    "does not satisfy"
+    (Fingerprint.Openssl_fp.verdict_to_string
+       (Fingerprint.Openssl_fp.classify (failing () :: openssl_primes)));
+  Alcotest.(check string) "single prime inconclusive" "inconclusive"
+    (Fingerprint.Openssl_fp.verdict_to_string
+       (Fingerprint.Openssl_fp.classify [ List.hd openssl_primes ]))
+
+let test_openssl_baseline_probability () =
+  let p = Fingerprint.Openssl_fp.satisfy_probability_random () in
+  (* Mironov's ~7.5%. *)
+  Alcotest.(check bool) (Printf.sprintf "baseline %.4f in [0.06, 0.09]" p) true
+    (p > 0.06 && p < 0.09)
+
+(* ---------------- Bit errors ---------------- *)
+
+let test_bit_error_detection () =
+  let k = Lazy.force key in
+  let n = k.K.pub.K.n in
+  Alcotest.(check bool) "real modulus clean" false
+    (Fingerprint.Bit_errors.suspicious ~bits:128 n);
+  let corrupted = N.add n (N.shift_left N.one 17) in
+  Alcotest.(check bool) "corrupted modulus suspicious" true
+    (Fingerprint.Bit_errors.suspicious ~bits:128 corrupted
+     (* a bit flip yields an even/odd random integer: if this specific
+        flip happens to look well-formed, the neighbor search below
+        still identifies it *)
+    || Fingerprint.Bit_errors.bitflip_neighbor
+         ~known:(fun m -> N.equal m n)
+         corrupted
+       <> None);
+  (match
+     Fingerprint.Bit_errors.bitflip_neighbor
+       ~known:(fun m -> N.equal m n)
+       corrupted
+   with
+  | Some m -> Alcotest.(check bool) "neighbor found" true (N.equal m n)
+  | None -> Alcotest.fail "neighbor must be found");
+  let clean, suspects =
+    Fingerprint.Bit_errors.partition ~bits:128 [ n; corrupted ]
+  in
+  ignore clean;
+  Alcotest.(check bool) "partition flags at most the corrupt one" true
+    (List.length suspects <= 1)
+
+let tests =
+  [
+    Alcotest.test_case "rules: subjects" `Quick test_rules_subjects;
+    Alcotest.test_case "rules: cisco models" `Quick test_rules_cisco_models;
+    Alcotest.test_case "rules: fritzbox" `Quick test_rules_fritzbox;
+    Alcotest.test_case "rules: content hint" `Quick test_rules_content_hint;
+    Alcotest.test_case "rules: catalog roundtrip" `Quick
+      test_rules_catalog_round_trip;
+    Alcotest.test_case "factored: simple" `Quick test_factored_recover_simple;
+    Alcotest.test_case "factored: clique" `Quick test_factored_recover_clique;
+    Alcotest.test_case "shared primes: extrapolation" `Quick
+      test_shared_prime_extrapolation;
+    Alcotest.test_case "shared primes: overlap" `Quick test_shared_prime_overlap;
+    Alcotest.test_case "ibm clique detection" `Quick test_ibm_clique_detection;
+    Alcotest.test_case "openssl classification" `Quick test_openssl_classification;
+    Alcotest.test_case "openssl baseline" `Quick test_openssl_baseline_probability;
+    Alcotest.test_case "bit errors" `Quick test_bit_error_detection;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "weakkeys"
+    [
+      ("nat", Test_nat.tests);
+      ("montgomery", Test_montgomery.tests);
+      ("zz", Test_zz.tests);
+      ("prime", Test_prime.tests);
+      ("hashes", Test_hashes.tests);
+      ("entropy", Test_entropy.tests);
+      ("rsa", Test_rsa.tests);
+      ("x509", Test_x509.tests);
+      ("batchgcd", Test_batchgcd.tests);
+      ("netsim", Test_netsim.tests);
+      ("fingerprint", Test_fingerprint.tests);
+      ("analysis", Test_analysis.tests);
+      ("pipeline", Test_pipeline.tests);
+      ("export", Test_export.tests);
+    ]

@@ -1,0 +1,86 @@
+(* Montgomery arithmetic: agreement with the division-based ladder,
+   domain roundtrips, edge cases. *)
+
+module N = Bignum.Nat
+module M = Bignum.Montgomery
+
+let nat = Alcotest.testable N.pp N.equal
+
+let arb_odd_modulus =
+  let open QCheck2.Gen in
+  map
+    (fun (bits, s) ->
+      let m = N.add (N.random_bits (fun k -> String.sub s 0 k) bits) N.one in
+      let m = if N.is_even m then N.add m N.one else m in
+      N.add m (N.of_int 2))
+    (pair (int_range 2 400)
+       (string_size ~gen:(map Char.chr (int_range 0 255)) (return 64)))
+
+let arb_nat bits =
+  let open QCheck2.Gen in
+  map
+    (fun s -> N.random_bits (fun k -> String.sub s 0 k) bits)
+    (string_size ~gen:(map Char.chr (int_range 0 255)) (return 64))
+
+let prop name ?(count = 200) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let test_create_rejects () =
+  Alcotest.(check bool) "even modulus" true (M.create (N.of_int 100) = None);
+  Alcotest.(check bool) "one" true (M.create N.one = None);
+  Alcotest.(check bool) "two" true (M.create N.two = None);
+  Alcotest.(check bool) "three ok" true (M.create (N.of_int 3) <> None)
+
+let test_known_values () =
+  let ctx = Option.get (M.create (N.of_int 97)) in
+  Alcotest.check nat "2^10 mod 97" (N.of_int 54)
+    (M.pow_mod ctx N.two (N.of_int 10));
+  Alcotest.check nat "x^0 = 1" N.one (M.pow_mod ctx (N.of_int 13) N.zero);
+  Alcotest.check nat "x^1 = x" (N.of_int 13)
+    (M.pow_mod ctx (N.of_int 13) N.one)
+
+let test_fermat_mersenne () =
+  let p = N.of_string "170141183460469231731687303715884105727" in
+  let ctx = Option.get (M.create p) in
+  Alcotest.check nat "fermat via montgomery" N.one
+    (M.pow_mod ctx (N.of_string "987654321987654321") (N.sub p N.one))
+
+let props =
+  [
+    prop "pow_mod = Nat.pow_mod"
+      QCheck2.Gen.(triple arb_odd_modulus (arb_nat 420) (arb_nat 48))
+      (fun (m, b, e) ->
+        match M.create m with
+        | None -> true
+        | Some ctx -> N.equal (M.pow_mod ctx b e) (N.pow_mod b e m));
+    prop "mont mul = modular mul"
+      QCheck2.Gen.(triple arb_odd_modulus (arb_nat 380) (arb_nat 380))
+      (fun (m, x, y) ->
+        match M.create m with
+        | None -> true
+        | Some ctx ->
+          let x = N.rem x m and y = N.rem y m in
+          N.equal
+            (M.from_mont ctx (M.mul ctx (M.to_mont ctx x) (M.to_mont ctx y)))
+            (N.rem (N.mul x y) m));
+    prop "to/from domain roundtrip"
+      QCheck2.Gen.(pair arb_odd_modulus (arb_nat 380))
+      (fun (m, x) ->
+        match M.create m with
+        | None -> true
+        | Some ctx ->
+          N.equal (M.from_mont ctx (M.to_mont ctx x)) (N.rem x m));
+    prop "pow_mod_nat dispatch"
+      QCheck2.Gen.(triple (arb_nat 100) (arb_nat 100) (arb_nat 32))
+      (fun (m, b, e) ->
+        let m = N.add m N.two in
+        N.equal (M.pow_mod_nat b e m) (N.pow_mod b e m));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "create rejects" `Quick test_create_rejects;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "fermat (mersenne prime)" `Quick test_fermat_mersenne;
+  ]
+  @ props

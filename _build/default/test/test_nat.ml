@@ -1,0 +1,265 @@
+(* Unit and property tests for Nat: ring axioms, division invariants,
+   Karatsuba vs schoolbook, Burnikel-Ziegler vs Knuth D, conversions. *)
+
+module N = Bignum.Nat
+
+let nat = Alcotest.testable N.pp N.equal
+
+(* Deterministic byte generator for reproducible random Nats. *)
+let mk_gen seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+(* QCheck generator: random Nat with size up to [max_bits] bits. *)
+let arb_nat ?(max_bits = 700) () =
+  let open QCheck2.Gen in
+  int_range 0 max_bits >>= fun bits ->
+  if bits = 0 then return N.zero
+  else
+    let bytes = (bits + 7) / 8 in
+    map
+      (fun s -> N.random_bits (fun _ -> s) bits)
+      (string_size ~gen:(map Char.chr (int_range 0 255)) (return bytes))
+
+let prop name ?(count = 300) gen f =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_small_roundtrip () =
+  List.iter
+    (fun i ->
+      Alcotest.(check (option int)) "to_int (of_int i)" (Some i)
+        (N.to_int (N.of_int i)))
+    [ 0; 1; 2; 41; 1 lsl 30; (1 lsl 31) - 1; 1 lsl 31; 1 lsl 45; max_int ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("decimal " ^ s) s (N.to_string (N.of_string s)))
+    [
+      "0";
+      "1";
+      "999999999";
+      "1000000000";
+      "123456789012345678901234567890";
+      "340282366920938463463374607431768211456";
+    ]
+
+let test_hex () =
+  Alcotest.(check string) "hex" "deadbeef" (N.to_hex (N.of_string "0xDEAD_BEEF"));
+  Alcotest.(check string)
+    "hex big" "123456789abcdef0123456789abcdef"
+    (N.to_hex (N.of_string "0x0123456789abcdef0123456789abcdef"))
+
+let test_bytes_roundtrip () =
+  let x = N.of_string "0x0102030405060708090a0b0c0d0e0f" in
+  Alcotest.check nat "bytes roundtrip" x (N.of_bytes_be (N.to_bytes_be x));
+  Alcotest.(check string) "zero bytes" "" (N.to_bytes_be N.zero)
+
+let test_known_arithmetic () =
+  let a = N.of_string "123456789123456789123456789" in
+  let b = N.of_string "987654321987654321" in
+  Alcotest.(check string)
+    "mul" "121932631356500531469135800347203169112635269"
+    (N.to_string (N.mul a b));
+  let q, r = N.divmod a b in
+  Alcotest.(check string) "div" "124999998" (N.to_string q);
+  Alcotest.(check string) "rem" "850308642973765431" (N.to_string r);
+  Alcotest.check nat "a = q*b + r" a (N.add (N.mul q b) r)
+
+let test_pow () =
+  Alcotest.(check string)
+    "2^128" "340282366920938463463374607431768211456"
+    (N.to_string (N.pow N.two 128));
+  Alcotest.check nat "x^0 = 1" N.one (N.pow (N.of_int 12345) 0)
+
+let test_shift_consistency () =
+  let x = N.of_string "0xfedcba9876543210fedcba9876543210" in
+  Alcotest.check nat "shl then shr" x (N.shift_right (N.shift_left x 77) 77);
+  Alcotest.check nat "shl = mul 2^k" (N.mul x (N.pow N.two 77))
+    (N.shift_left x 77)
+
+let test_sub_negative_raises () =
+  Alcotest.check_raises "sub raises" (Invalid_argument "Nat.sub: negative result")
+    (fun () -> ignore (N.sub N.one N.two))
+
+let test_divmod_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (N.divmod N.one N.zero))
+
+let test_num_bits () =
+  Alcotest.(check int) "bits 0" 0 (N.num_bits N.zero);
+  Alcotest.(check int) "bits 1" 1 (N.num_bits N.one);
+  Alcotest.(check int) "bits 2^31" 32 (N.num_bits (N.shift_left N.one 31));
+  Alcotest.(check int) "bits 2^100-1" 100
+    (N.num_bits (N.sub (N.shift_left N.one 100) N.one))
+
+let test_sqrt_exact () =
+  let x = N.of_string "123456789123456789" in
+  let s = N.sqrt (N.sqr x) in
+  Alcotest.check nat "sqrt of square" x s
+
+let test_gcd_known () =
+  let p = N.of_string "1000000007" in
+  let a = N.mul p (N.of_string "999999937") in
+  let b = N.mul p (N.of_string "1000000021") in
+  Alcotest.check nat "shared prime" p (N.gcd a b);
+  Alcotest.check nat "euclid agrees" (N.gcd a b) (N.gcd_euclid a b);
+  Alcotest.check nat "gcd 0 b" b (N.gcd N.zero b);
+  Alcotest.check nat "gcd a 0" a (N.gcd a N.zero)
+
+let test_invert_mod () =
+  let m = N.of_string "1000000007" in
+  let a = N.of_string "123456789" in
+  (match N.invert_mod a m with
+  | None -> Alcotest.fail "inverse must exist mod prime"
+  | Some x -> Alcotest.check nat "a*x = 1" N.one (N.rem (N.mul a x) m));
+  Alcotest.(check bool)
+    "no inverse when gcd > 1" true
+    (N.invert_mod (N.of_int 6) (N.of_int 9) = None)
+
+let test_pow_mod_fermat () =
+  (* Fermat: a^(p-1) = 1 mod p for prime p not dividing a. *)
+  let p = N.of_string "170141183460469231731687303715884105727" (* 2^127-1 *) in
+  let a = N.of_string "123456789123456789" in
+  Alcotest.check nat "fermat" N.one (N.pow_mod a (N.sub p N.one) p)
+
+let test_random_below_in_range () =
+  let gen = mk_gen 42 in
+  let bound = N.of_string "987654321987654321987654321" in
+  for _ = 1 to 50 do
+    let x = N.random_below gen bound in
+    Alcotest.(check bool) "x < bound" true (N.compare x bound < 0)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pair g = QCheck2.Gen.pair g g
+let triple g = QCheck2.Gen.triple g g g
+
+let props =
+  let g = arb_nat () in
+  [
+    prop "add commutative" (pair g) (fun (a, b) -> N.equal (N.add a b) (N.add b a));
+    prop "add associative" (triple g) (fun (a, b, c) ->
+        N.equal (N.add a (N.add b c)) (N.add (N.add a b) c));
+    prop "mul commutative" (pair g) (fun (a, b) -> N.equal (N.mul a b) (N.mul b a));
+    prop "mul associative" ~count:100 (triple g) (fun (a, b, c) ->
+        N.equal (N.mul a (N.mul b c)) (N.mul (N.mul a b) c));
+    prop "distributivity" ~count:100 (triple g) (fun (a, b, c) ->
+        N.equal (N.mul a (N.add b c)) (N.add (N.mul a b) (N.mul a c)));
+    prop "add/sub inverse" (pair g) (fun (a, b) ->
+        N.equal a (N.sub (N.add a b) b));
+    prop "division invariant" (pair g) (fun (a, b) ->
+        if N.is_zero b then true
+        else begin
+          let q, r = N.divmod a b in
+          N.equal a (N.add (N.mul q b) r) && N.compare r b < 0
+        end);
+    prop "string roundtrip" g (fun a -> N.equal a (N.of_string (N.to_string a)));
+    prop "hex roundtrip" g (fun a ->
+        N.equal a (N.of_string ("0x" ^ N.to_hex a)));
+    prop "bytes roundtrip" g (fun a -> N.equal a (N.of_bytes_be (N.to_bytes_be a)));
+    prop "limbs roundtrip" g (fun a -> N.equal a (N.of_limbs (N.to_limbs a)));
+    prop "gcd binary = euclid" (pair g) (fun (a, b) ->
+        N.equal (N.gcd a b) (N.gcd_euclid a b));
+    prop "gcd divides both" (pair g) (fun (a, b) ->
+        if N.is_zero a && N.is_zero b then true
+        else begin
+          let gg = N.gcd a b in
+          N.is_zero (N.rem a gg) && N.is_zero (N.rem b gg)
+        end);
+    prop "sqrt bounds" g (fun a ->
+        let s = N.sqrt a in
+        N.compare (N.sqr s) a <= 0
+        && N.compare (N.sqr (N.add s N.one)) a > 0);
+    prop "shift roundtrip" (QCheck2.Gen.pair g (QCheck2.Gen.int_range 0 200))
+      (fun (a, k) -> N.equal a (N.shift_right (N.shift_left a k) k));
+    prop "compare antisym" (pair g) (fun (a, b) ->
+        N.compare a b = -N.compare b a);
+  ]
+
+(* Cross-check Karatsuba and Burnikel-Ziegler against the schoolbook
+   paths by lowering thresholds for the duration of the test. *)
+let with_thresholds km bz f =
+  let k0 = !N.karatsuba_threshold and b0 = !N.burnikel_ziegler_threshold in
+  N.karatsuba_threshold := km;
+  N.burnikel_ziegler_threshold := bz;
+  Fun.protect ~finally:(fun () ->
+      N.karatsuba_threshold := k0;
+      N.burnikel_ziegler_threshold := b0)
+    f
+
+let test_karatsuba_vs_schoolbook () =
+  let gen = mk_gen 7 in
+  for _ = 1 to 30 do
+    let a = N.random_bits gen 4000 and b = N.random_bits gen 3500 in
+    let fast = with_thresholds 4 1000 (fun () -> N.mul a b) in
+    let slow = with_thresholds 100000 1000 (fun () -> N.mul a b) in
+    Alcotest.check nat "karatsuba = schoolbook" slow fast
+  done
+
+let test_bz_vs_knuth () =
+  let gen = mk_gen 9 in
+  for _ = 1 to 20 do
+    let a = N.random_bits gen 9000 and b = N.random_bits gen 2500 in
+    let fast_q, fast_r = with_thresholds 4 4 (fun () -> N.divmod a b) in
+    let slow_q, slow_r = with_thresholds 24 100000 (fun () -> N.divmod a b) in
+    Alcotest.check nat "bz quotient = knuth" slow_q fast_q;
+    Alcotest.check nat "bz remainder = knuth" slow_r fast_r
+  done
+
+let test_bz_balanced_and_edge_shapes () =
+  let gen = mk_gen 11 in
+  List.iter
+    (fun (abits, bbits) ->
+      let a = N.random_bits gen abits and b = N.add (N.random_bits gen bbits) N.one in
+      let q, r = with_thresholds 4 4 (fun () -> N.divmod a b) in
+      Alcotest.check nat "invariant" a (N.add (N.mul q b) r);
+      Alcotest.(check bool) "r < b" true (N.compare r b < 0))
+    [
+      (5000, 5000); (5000, 4999); (5000, 2501); (5000, 2500); (10000, 1300);
+      (2600, 2600); (2600, 1300); (1, 5000); (0, 5000); (5000, 1);
+    ]
+
+let test_infix () =
+  let open N.Infix in
+  let a = N.of_int 100 and b = N.of_int 7 in
+  Alcotest.check nat "+" (N.of_int 107) (a + b);
+  Alcotest.check nat "-" (N.of_int 93) (a - b);
+  Alcotest.check nat "*" (N.of_int 700) (a * b);
+  Alcotest.check nat "/" (N.of_int 14) (a / b);
+  Alcotest.check nat "mod" (N.of_int 2) (a mod b);
+  Alcotest.(check bool) "<" true (b < a);
+  Alcotest.(check bool) ">=" true (a >= a);
+  Alcotest.(check bool) "=" false (a = b)
+
+let tests =
+  [
+    Alcotest.test_case "small int roundtrip" `Quick test_small_roundtrip;
+    Alcotest.test_case "decimal roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "hex" `Quick test_hex;
+    Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+    Alcotest.test_case "known mul/div" `Quick test_known_arithmetic;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "shifts" `Quick test_shift_consistency;
+    Alcotest.test_case "sub negative raises" `Quick test_sub_negative_raises;
+    Alcotest.test_case "divide by zero" `Quick test_divmod_by_zero;
+    Alcotest.test_case "num_bits" `Quick test_num_bits;
+    Alcotest.test_case "sqrt exact" `Quick test_sqrt_exact;
+    Alcotest.test_case "gcd known" `Quick test_gcd_known;
+    Alcotest.test_case "invert_mod" `Quick test_invert_mod;
+    Alcotest.test_case "pow_mod fermat" `Quick test_pow_mod_fermat;
+    Alcotest.test_case "random_below range" `Quick test_random_below_in_range;
+    Alcotest.test_case "karatsuba vs schoolbook" `Slow test_karatsuba_vs_schoolbook;
+    Alcotest.test_case "burnikel-ziegler vs knuth" `Slow test_bz_vs_knuth;
+    Alcotest.test_case "division edge shapes" `Quick test_bz_balanced_and_edge_shapes;
+    Alcotest.test_case "infix operators" `Quick test_infix;
+  ]
+  @ props

@@ -1,0 +1,263 @@
+(* End-to-end pipeline tests: the full study on the shared small world,
+   checked against simulator ground truth and the paper's qualitative
+   claims (who is vulnerable, where the Heartbleed drop lands, which
+   vendors rise after 2012). *)
+
+module N = Bignum.Nat
+module Sc = Netsim.Scanner
+module W = Netsim.World
+module P = Weakkeys.Pipeline
+module Ts = Analysis.Timeseries
+
+let pipeline () = Lazy.force Worlds.small_pipeline
+
+let test_findings_match_ground_truth () =
+  let p = pipeline () in
+  (* Ground truth restricted to what the pipeline can see: a corpus
+     modulus is weak iff it shares a prime with ANOTHER corpus
+     modulus. (The world may know of sharing partners that never
+     surfaced in a scan.) *)
+  let factors = W.factors_of p.P.world in
+  let counts = Hashtbl.create 4096 in
+  let bump pr =
+    let k = N.to_limbs pr in
+    Hashtbl.replace counts k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+  in
+  Array.iter
+    (fun m ->
+      match factors m with
+      | Some (a, b) ->
+        bump a;
+        bump b
+      | None -> ())
+    p.P.corpus;
+  let corpus_truth m =
+    match factors m with
+    | None -> false
+    | Some (a, b) ->
+      let c pr = Option.value ~default:0 (Hashtbl.find_opt counts (N.to_limbs pr)) in
+      c a >= 2 || c b >= 2
+  in
+  List.iter
+    (fun f ->
+      let m = f.Batchgcd.Batch_gcd.modulus in
+      Alcotest.(check bool) "finding is true or corrupt" true
+        (corpus_truth m || factors m = None))
+    p.P.findings;
+  Array.iter
+    (fun m ->
+      if corpus_truth m then
+        Alcotest.(check bool) "truth is found" true (P.is_vulnerable p m))
+    p.P.corpus
+
+let test_vulnerable_counts_sane () =
+  let p = pipeline () in
+  let n_vuln = List.length p.P.findings in
+  let n = Array.length p.P.corpus in
+  Alcotest.(check bool) "some vulnerable" true (n_vuln > 20);
+  Alcotest.(check bool) "small minority" true (n_vuln * 10 < n)
+
+let test_vendor_labeling_against_world () =
+  (* For monthly-scan records of identifiable models, the pipeline's
+     vendor label must match the simulator's model vendor. *)
+  let p = pipeline () in
+  let devices_by_ip_date = Hashtbl.create 4096 in
+  Array.iter
+    (fun d ->
+      Array.iter
+        (fun e ->
+          Hashtbl.replace devices_by_ip_date
+            (X509lite.Certificate.fingerprint e.W.cert)
+            d)
+        d.W.epochs)
+    (W.devices p.P.world);
+  let checked = ref 0 and mismatches = ref 0 in
+  List.iter
+    (fun (s : Sc.scan) ->
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          match
+            ( P.vendor_of_record p r,
+              Hashtbl.find_opt devices_by_ip_date
+                (X509lite.Certificate.fingerprint r.Sc.cert) )
+          with
+          | Some vendor, Some d ->
+            incr checked;
+            if vendor <> d.W.model.Netsim.Device_model.vendor then incr mismatches
+          | _ -> ())
+        s.Sc.records)
+    p.P.monthly;
+  Alcotest.(check bool) "many labels checked" true (!checked > 1000);
+  (* The Rimon middlebox substitutes keys on generic hosts; those can
+     gain a pool label. Allow a tiny mismatch rate. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mismatches %d of %d" !mismatches !checked)
+    true
+    (!mismatches * 100 < !checked)
+
+let test_heartbleed_drop_is_largest () =
+  (* Figure 1's qualitative headline: the largest vulnerable-host drop
+     lands on the 04/2014-05/2014 scans. *)
+  let p = pipeline () in
+  let s = Ts.overall ~vulnerable:(P.is_vulnerable p) p.P.monthly in
+  match Ts.largest_vulnerable_drop s with
+  | Some (d, _) ->
+    let y, m, _ = X509lite.Date.to_ymd d in
+    Alcotest.(check bool)
+      (Printf.sprintf "drop lands %02d/%d" m y)
+      true
+      (y = 2014 && (m = 4 || m = 5))
+  | None -> Alcotest.fail "expected a drop"
+
+let test_juniper_series_shape () =
+  let p = pipeline () in
+  let s =
+    Ts.vendor ~label:(P.vendor_of_record p) ~vulnerable:(P.is_vulnerable p)
+      p.P.monthly "Juniper"
+  in
+  (* Note: the corpus has no scans in most of 2011; probe the December
+     2010 EFF scan and a 2014 pre-Heartbleed scan. *)
+  (match
+     ( Ts.value_at s (X509lite.Date.of_ymd 2010 12 15),
+       Ts.value_at s (X509lite.Date.of_ymd 2014 3 20) )
+   with
+  | Some early, Some peak ->
+    Alcotest.(check bool) "total grew into 2014" true
+      (peak.Ts.total > early.Ts.total)
+  | _ -> Alcotest.fail "series must cover 12/2010 and 03/2014");
+  match
+    ( Ts.value_at s (X509lite.Date.of_ymd 2014 3 20),
+      Ts.value_at s (X509lite.Date.of_ymd 2014 6 20) )
+  with
+  | Some before, Some after ->
+    Alcotest.(check bool)
+      (Printf.sprintf "heartbleed cliff %d -> %d" before.Ts.total after.Ts.total)
+      true
+      (after.Ts.total < before.Ts.total)
+  | _ -> Alcotest.fail "points around heartbleed missing"
+
+let test_newly_vulnerable_rise () =
+  let p = pipeline () in
+  let check vendor start =
+    let s =
+      Ts.vendor ~label:(P.vendor_of_record p) ~vulnerable:(P.is_vulnerable p)
+        p.P.monthly vendor
+    in
+    let before, after =
+      List.fold_left
+        (fun (b, a) pt ->
+          if X509lite.Date.(pt.Ts.date < start) then
+            (Stdlib.max b pt.Ts.vulnerable, a)
+          else (b, Stdlib.max a pt.Ts.vulnerable))
+        (0, 0) s.Ts.points
+    in
+    Alcotest.(check int) (vendor ^ " zero before") 0 before;
+    Alcotest.(check bool) (vendor ^ " rises after") true (after > 0)
+  in
+  check "Huawei" (X509lite.Date.of_ymd 2015 4 1);
+  check "D-Link" (X509lite.Date.of_ymd 2012 9 1)
+
+let test_ibm_clique_found () =
+  let p = pipeline () in
+  match p.P.cliques with
+  | c :: _ ->
+    Alcotest.(check bool) "clique has several moduli" true
+      (List.length c.Fingerprint.Ibm_clique.moduli >= 4);
+    Alcotest.(check bool) "small prime pool" true
+      (List.length c.Fingerprint.Ibm_clique.primes <= 9)
+  | [] -> Alcotest.fail "IBM clique must be detected"
+
+let test_ibm_siemens_overlap () =
+  let p = pipeline () in
+  let overlaps = Fingerprint.Shared_prime.overlaps p.P.shared in
+  Alcotest.(check bool)
+    (Printf.sprintf "IBM/Siemens among %d overlaps" (List.length overlaps))
+    true
+    (List.exists
+       (fun (a, b, _) ->
+         (a = "IBM" && b = "Siemens") || (a = "Siemens" && b = "IBM"))
+       overlaps)
+
+let test_table4_shape () =
+  let p = pipeline () in
+  let v = P.vulnerable_by_protocol p in
+  let get proto = List.assoc proto v in
+  Alcotest.(check bool) "https has vulnerable hosts" true (get Sc.Https > 0);
+  Alcotest.(check int) "pop3s clean" 0 (get Sc.Pop3s);
+  Alcotest.(check int) "imaps clean" 0 (get Sc.Imaps);
+  Alcotest.(check int) "smtps clean" 0 (get Sc.Smtps)
+
+let test_report_renders () =
+  (* Every section renders without raising and is non-trivial. *)
+  let p = pipeline () in
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " non-trivial") true (String.length s > 80))
+    [
+      ("table1", Weakkeys.Report.table1 p);
+      ("table2", Weakkeys.Report.table2 ());
+      ("table3", Weakkeys.Report.table3 p);
+      ("table4", Weakkeys.Report.table4 p);
+      ("table5", Weakkeys.Report.table5 p);
+      ("figure1", Weakkeys.Report.figure1 p);
+      ("figure2", Weakkeys.Report.figure2 p);
+      ("figure3", Weakkeys.Report.figure3 p);
+      ("figure4", Weakkeys.Report.figure4 p);
+      ("figure5", Weakkeys.Report.figure5 p);
+      ("figure6", Weakkeys.Report.figure6 p);
+      ("figure7", Weakkeys.Report.figure7 p);
+      ("figure8", Weakkeys.Report.figure8 p);
+      ("figure9", Weakkeys.Report.figure9 p);
+      ("figure10", Weakkeys.Report.figure10 p);
+      ("rimon", Weakkeys.Report.rimon_section p);
+      ("bit errors", Weakkeys.Report.bit_error_section p);
+      ("overlaps", Weakkeys.Report.overlap_section p);
+    ]
+
+let test_table5_ground_truth_styles () =
+  (* Vendors modeled with Plain prime generation must never be
+     classified as satisfying the fingerprint, and Openssl-style
+     vendors never as failing it. *)
+  let p = pipeline () in
+  let rows = Fingerprint.Openssl_fp.classify_vendors (P.labeled_factored p) in
+  let style_of vendor =
+    List.find_map
+      (fun (m : Netsim.Device_model.t) ->
+        if m.Netsim.Device_model.vendor = vendor then
+          match m.Netsim.Device_model.keygen with
+          | Netsim.Device_model.Profile_keygen { style; _ } -> Some style
+          | Netsim.Device_model.Ibm_keygen -> Some Rsa.Keypair.Openssl
+        else None)
+      Netsim.Device_model.catalog
+  in
+  List.iter
+    (fun (vendor, verdict, _) ->
+      match (style_of vendor, verdict) with
+      | Some Rsa.Keypair.Plain, Fingerprint.Openssl_fp.Satisfies ->
+        Alcotest.failf "%s is Plain but classified as OpenSSL" vendor
+      | Some Rsa.Keypair.Openssl, Fingerprint.Openssl_fp.Does_not_satisfy ->
+        (* Mixed vendors (Siemens has both an IBM-module line and a
+           Plain line) may legitimately fail. *)
+        if vendor <> "Siemens" && vendor <> "Dell" then
+          Alcotest.failf "%s is OpenSSL-style but classified as failing" vendor
+      | _ -> ())
+    rows
+
+let tests =
+  [
+    Alcotest.test_case "findings = ground truth" `Slow
+      test_findings_match_ground_truth;
+    Alcotest.test_case "vulnerable counts sane" `Slow test_vulnerable_counts_sane;
+    Alcotest.test_case "vendor labels vs world" `Slow
+      test_vendor_labeling_against_world;
+    Alcotest.test_case "heartbleed drop largest" `Slow
+      test_heartbleed_drop_is_largest;
+    Alcotest.test_case "juniper shape" `Slow test_juniper_series_shape;
+    Alcotest.test_case "newly vulnerable rise" `Slow test_newly_vulnerable_rise;
+    Alcotest.test_case "ibm clique found" `Slow test_ibm_clique_found;
+    Alcotest.test_case "ibm/siemens overlap" `Slow test_ibm_siemens_overlap;
+    Alcotest.test_case "table4 shape" `Slow test_table4_shape;
+    Alcotest.test_case "report renders" `Slow test_report_renders;
+    Alcotest.test_case "table5 styles" `Slow test_table5_ground_truth_styles;
+  ]

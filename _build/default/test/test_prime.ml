@@ -1,0 +1,136 @@
+(* Tests for primality testing, prime generation, and the OpenSSL
+   prime-structure fingerprint. *)
+
+module N = Bignum.Nat
+module P = Bignum.Prime
+
+let nat = Alcotest.testable N.pp N.equal
+
+let mk_gen seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+let test_small_primes_table () =
+  Alcotest.(check int) "2048 primes" 2048 (Array.length P.small_primes);
+  Alcotest.(check int) "first prime" 2 P.small_primes.(0);
+  Alcotest.(check int) "2048th prime" 17863 P.small_primes.(2047);
+  Array.iter
+    (fun p -> Alcotest.(check bool) (string_of_int p) true (P.is_small_prime p))
+    P.small_primes
+
+let test_first_n_primes () =
+  Alcotest.(check (array int)) "first 10"
+    [| 2; 3; 5; 7; 11; 13; 17; 19; 23; 29 |]
+    (P.first_n_primes 10);
+  Alcotest.(check int) "extendable past table" 3000
+    (Array.length (P.first_n_primes 3000))
+
+let test_miller_rabin_agrees_with_trial_division () =
+  for n = 2 to 2000 do
+    Alcotest.(check bool) (string_of_int n) (P.is_small_prime n)
+      (P.is_probable_prime (N.of_int n))
+  done
+
+let test_known_primes () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true (P.is_probable_prime (N.of_string s)))
+    [
+      "2147483647" (* 2^31-1 *);
+      "2305843009213693951" (* 2^61-1 *);
+      "170141183460469231731687303715884105727" (* 2^127-1 *);
+      "57896044618658097711785492504343953926634992332820282019728792003956564819949"
+      (* 2^255-19 *);
+    ]
+
+let test_known_composites () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s false (P.is_probable_prime (N.of_string s)))
+    [
+      "561" (* Carmichael *);
+      "41041" (* Carmichael *);
+      "340282366920938463463374607431768211457" (* 2^128+1 *);
+      "170141183460469231731687303715884105725";
+    ]
+
+let test_generate () =
+  let gen = mk_gen 1 in
+  List.iter
+    (fun bits ->
+      let p = P.generate ~gen ~bits in
+      Alcotest.(check int) "exact size" bits (N.num_bits p);
+      Alcotest.(check bool) "prime" true (P.is_probable_prime ~gen p);
+      Alcotest.(check bool) "odd" true (N.is_odd p))
+    [ 32; 64; 128; 200 ]
+
+let test_openssl_fingerprint_generation () =
+  let gen = mk_gen 2 in
+  (* OpenSSL-style primes always satisfy the fingerprint. *)
+  for _ = 1 to 5 do
+    let p = P.generate_openssl_style ~gen ~bits:128 in
+    Alcotest.(check bool) "openssl prime satisfies" true
+      (P.satisfies_openssl_fingerprint p)
+  done;
+  (* A plain prime satisfies it only with probability ~7.5%; over many
+     draws we must see both outcomes (probability of failure < 1e-8). *)
+  let seen_fail = ref false in
+  for _ = 1 to 300 do
+    let p = P.generate ~gen ~bits:64 in
+    if not (P.satisfies_openssl_fingerprint p) then seen_fail := true
+  done;
+  Alcotest.(check bool) "plain primes mostly fail fingerprint" true !seen_fail
+
+let test_fingerprint_definition () =
+  (* p = 17864 is not prime, but take a prime p where p-1 has a small
+     factor 3: p = 7 -> p-1 = 6 divisible by 2 and 3. *)
+  Alcotest.(check bool) "7 fails (6 = 2*3)" false
+    (P.satisfies_openssl_fingerprint (N.of_int 7))
+
+let test_safe_prime () =
+  Alcotest.(check bool) "23 safe" true (P.is_safe_prime (N.of_int 23));
+  Alcotest.(check bool) "29 not safe" false (P.is_safe_prime (N.of_int 29))
+
+let test_next_prime () =
+  Alcotest.check nat "after 0" N.two (P.next_prime N.zero);
+  Alcotest.check nat "after 2" (N.of_int 3) (P.next_prime N.two);
+  Alcotest.check nat "after 24" (N.of_int 29) (P.next_prime (N.of_int 24));
+  Alcotest.check nat "after 2^31-1" (N.of_string "2147483659")
+    (P.next_prime (N.of_string "2147483647"))
+
+let test_trial_division () =
+  let p = N.of_string "1000003" in
+  (match P.trial_division (N.mul_int p 17863) with
+  | Some 17863 -> ()
+  | Some q -> Alcotest.failf "wrong factor %d" q
+  | None -> Alcotest.fail "factor not found");
+  match P.trial_division p with
+  | None -> ()
+  | Some q -> Alcotest.failf "spurious factor %d" q
+
+let prop_generated_primes_pass_random_rounds =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"generated primes pass randomized MR" ~count:8
+       (QCheck2.Gen.int_range 3 1000)
+       (fun seed ->
+         let gen = mk_gen seed in
+         let p = P.generate ~gen ~bits:96 in
+         P.is_probable_prime ~gen ~rounds:8 p))
+
+let tests =
+  [
+    Alcotest.test_case "small prime table" `Quick test_small_primes_table;
+    Alcotest.test_case "first_n_primes" `Quick test_first_n_primes;
+    Alcotest.test_case "MR vs trial division" `Quick
+      test_miller_rabin_agrees_with_trial_division;
+    Alcotest.test_case "known primes" `Quick test_known_primes;
+    Alcotest.test_case "known composites" `Quick test_known_composites;
+    Alcotest.test_case "generate sizes" `Slow test_generate;
+    Alcotest.test_case "openssl fingerprint generation" `Slow
+      test_openssl_fingerprint_generation;
+    Alcotest.test_case "fingerprint definition" `Quick test_fingerprint_definition;
+    Alcotest.test_case "safe primes" `Quick test_safe_prime;
+    Alcotest.test_case "next_prime" `Quick test_next_prime;
+    Alcotest.test_case "trial division" `Quick test_trial_division;
+    prop_generated_primes_pass_random_rounds;
+  ]

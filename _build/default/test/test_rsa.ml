@@ -1,0 +1,236 @@
+(* RSA tests: keygen consistency, encryption/signing roundtrips, the
+   weak-keygen shared-prime pattern, IBM pool structure, private-key
+   recovery from a GCD factor. *)
+
+module N = Bignum.Nat
+module K = Rsa.Keypair
+module Rng = Entropy.Device_rng
+
+let nat = Alcotest.testable N.pp N.equal
+
+let mk_gen seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+let test_generate_consistent () =
+  let k = K.generate ~gen:(mk_gen 1) ~bits:256 () in
+  Alcotest.(check bool) "consistent" true (K.is_consistent k);
+  Alcotest.(check int) "modulus size" 256 (N.num_bits k.K.pub.K.n)
+
+let test_generate_plain_style () =
+  let k = K.generate ~style:K.Plain ~gen:(mk_gen 2) ~bits:128 () in
+  Alcotest.(check bool) "consistent" true (K.is_consistent k)
+
+let test_generate_rejects_bad_bits () =
+  Alcotest.check_raises "odd size"
+    (Invalid_argument "Rsa.generate: modulus size must be even and >= 32")
+    (fun () -> ignore (K.generate ~gen:(mk_gen 1) ~bits:129 ()));
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Rsa.generate: modulus size must be even and >= 32")
+    (fun () -> ignore (K.generate ~gen:(mk_gen 1) ~bits:16 ()))
+
+let test_encrypt_decrypt () =
+  let k = K.generate ~gen:(mk_gen 3) ~bits:256 () in
+  let m = N.of_string "123456789123456789123456789" in
+  Alcotest.check nat "roundtrip" m (K.decrypt k (K.encrypt k.K.pub m));
+  Alcotest.check_raises "message too large"
+    (Invalid_argument "Rsa.encrypt: message >= modulus") (fun () ->
+      ignore (K.encrypt k.K.pub k.K.pub.K.n))
+
+let test_sign_verify () =
+  let k = K.generate ~gen:(mk_gen 4) ~bits:512 () in
+  let s = K.sign k "hello network device" in
+  Alcotest.(check bool) "verifies" true (K.verify k.K.pub "hello network device" s);
+  Alcotest.(check bool) "wrong message" false (K.verify k.K.pub "tampered" s);
+  Alcotest.(check bool) "wrong signature" false
+    (K.verify k.K.pub "hello network device" (N.add s N.one))
+
+let test_shared_prime_pattern () =
+  (* The headline failure: same boot state -> same first prime;
+     divergence between primes -> different second prime. *)
+  let profile = Rng.vulnerable_shared_prime "router" ~bits:4 in
+  let boot i u = Rng.boot profile ~device_unique:u ~boot_state:i in
+  let ka = K.generate_on_device ~rng:(boot 3 "a") ~bits:128 () in
+  let kb = K.generate_on_device ~rng:(boot 3 "b") ~bits:128 () in
+  Alcotest.check nat "first primes collide" ka.K.p kb.K.p;
+  Alcotest.(check bool) "second primes diverge" false (N.equal ka.K.q kb.K.q);
+  Alcotest.(check bool) "moduli distinct" false
+    (N.equal ka.K.pub.K.n kb.K.pub.K.n);
+  Alcotest.check nat "gcd recovers the shared prime" ka.K.p
+    (N.gcd ka.K.pub.K.n kb.K.pub.K.n)
+
+let test_different_boot_states_differ () =
+  let profile = Rng.vulnerable_shared_prime "router" ~bits:8 in
+  let ka =
+    K.generate_on_device
+      ~rng:(Rng.boot profile ~device_unique:"a" ~boot_state:1)
+      ~bits:128 ()
+  in
+  let kb =
+    K.generate_on_device
+      ~rng:(Rng.boot profile ~device_unique:"b" ~boot_state:2)
+      ~bits:128 ()
+  in
+  Alcotest.check nat "coprime moduli" N.one (N.gcd ka.K.pub.K.n kb.K.pub.K.n)
+
+let test_patched_device_strong_keys () =
+  let profile = Rng.patched (Rng.vulnerable_shared_prime "router" ~bits:2) in
+  let ka =
+    K.generate_on_device
+      ~rng:(Rng.boot profile ~device_unique:"a" ~boot_state:1)
+      ~bits:128 ()
+  in
+  let kb =
+    K.generate_on_device
+      ~rng:(Rng.boot profile ~device_unique:"b" ~boot_state:1)
+      ~bits:128 ()
+  in
+  Alcotest.(check bool) "patched devices do not share primes" true
+    (N.is_one (N.gcd ka.K.pub.K.n kb.K.pub.K.n))
+
+let test_prime_congruent_one_mod_e () =
+  (* Regression: this DRBG stream's first prime p has 65537 | p - 1, so
+     e can never be inverted whatever the second prime is; keygen must
+     reject p and redraw rather than loop forever regenerating q. *)
+  let gen =
+    Hashes.Drbg.gen_fn
+      (Hashes.Drbg.create ~seed:"bench-world/generic-web#14838/key/0" ())
+  in
+  let k = K.generate ~style:K.Plain ~gen ~bits:96 () in
+  Alcotest.(check bool) "terminates and is consistent" true (K.is_consistent k);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "p != 1 mod e" false
+        (N.mod_int (N.sub p N.one) 65537 = 0))
+    [ k.K.p; k.K.q ]
+
+let test_decrypt_crt_matches () =
+  let k = K.generate ~gen:(mk_gen 20) ~bits:256 () in
+  for i = 1 to 20 do
+    let m = N.of_int (i * 987654321) in
+    let c = K.encrypt k.K.pub m in
+    Alcotest.check nat "crt = plain" (K.decrypt k c) (K.decrypt_crt k c);
+    Alcotest.check nat "crt roundtrip" m (K.decrypt_crt k c)
+  done
+
+let test_key_serialization () =
+  let k = K.generate ~gen:(mk_gen 21) ~bits:128 () in
+  let k' = K.decode_private (K.encode_private k) in
+  Alcotest.check nat "n" k.K.pub.K.n k'.K.pub.K.n;
+  Alcotest.check nat "p" k.K.p k'.K.p;
+  Alcotest.check nat "q" k.K.q k'.K.q;
+  Alcotest.check nat "d" k.K.d k'.K.d;
+  Alcotest.(check bool) "decoded key consistent" true (K.is_consistent k');
+  let pub' = K.decode_public (K.encode_public k.K.pub) in
+  Alcotest.check nat "public n" k.K.pub.K.n pub'.K.n;
+  Alcotest.check_raises "tampered n rejected"
+    (Invalid_argument "Rsa.decode_private: n <> p*q") (fun () ->
+      let tampered =
+        { k with K.pub = { k.K.pub with K.n = N.add k.K.pub.K.n N.two } }
+      in
+      ignore (K.decode_private (K.encode_private tampered)))
+
+let test_recover_private () =
+  let k = K.generate ~gen:(mk_gen 5) ~bits:256 () in
+  (match K.recover_private k.K.pub ~factor:k.K.p with
+  | None -> Alcotest.fail "recovery must succeed with a true factor"
+  | Some k' ->
+    Alcotest.(check bool) "recovered key consistent" true (K.is_consistent k');
+    (* The recovered key must decrypt what the public key encrypts. *)
+    let m = N.of_string "42424242424242424242" in
+    Alcotest.check nat "decrypts" m (K.decrypt k' (K.encrypt k.K.pub m)));
+  Alcotest.(check bool) "bogus factor rejected" true
+    (K.recover_private k.K.pub ~factor:(N.of_int 17) = None);
+  Alcotest.(check bool) "unit factor rejected" true
+    (K.recover_private k.K.pub ~factor:N.one = None)
+
+let test_well_formed_modulus () =
+  let k = K.generate ~gen:(mk_gen 6) ~bits:128 () in
+  Alcotest.(check bool) "real modulus is well-formed" true
+    (K.well_formed_modulus k.K.pub.K.n ~bits:128);
+  (* Flip a low bit: overwhelmingly likely to pick up a tiny factor or
+     become prime-free of the right shape; run the paper's test. *)
+  let corrupted =
+    let n = k.K.pub.K.n in
+    if N.is_even n then N.add n N.one else N.sub n N.one
+  in
+  Alcotest.(check bool) "even corruption detected" false
+    (K.well_formed_modulus corrupted ~bits:128)
+
+let test_ibm_pool () =
+  let moduli = Rsa.Ibm.all_moduli ~bits:128 in
+  Alcotest.(check int) "36 moduli from 9 primes" 36 (List.length moduli);
+  let primes = Rsa.Ibm.primes ~bits:64 in
+  Alcotest.(check int) "9 primes" 9 (Array.length primes);
+  Array.iter
+    (fun p ->
+      Alcotest.(check bool) "pool prime is prime" true
+        (Bignum.Prime.is_probable_prime p);
+      Alcotest.(check int) "pool prime size" 64 (N.num_bits p))
+    primes;
+  (* Determinism: a second call yields the same pool. *)
+  Alcotest.(check bool) "pool deterministic" true
+    (Array.for_all2 N.equal primes (Rsa.Ibm.primes ~bits:64))
+
+let test_ibm_generate () =
+  let gen = mk_gen 7 in
+  for _ = 1 to 10 do
+    let k = Rsa.Ibm.generate ~gen ~bits:128 in
+    Alcotest.(check bool) "modulus in the 36-set" true
+      (Rsa.Ibm.is_pool_modulus ~bits:128 k.K.pub.K.n);
+    Alcotest.(check bool) "key consistent" true (K.is_consistent k)
+  done
+
+let test_ibm_cross_device_gcd () =
+  (* Any two distinct IBM moduli share a prime with high probability
+     (they draw from only 9 primes); verify at least one sharing pair
+     exists among a handful of keys. *)
+  let gen = mk_gen 8 in
+  let keys = List.init 6 (fun _ -> Rsa.Ibm.generate ~gen ~bits:128) in
+  let shared = ref false in
+  List.iteri
+    (fun i a ->
+      List.iteri
+        (fun j b ->
+          if i < j && not (N.equal a.K.pub.K.n b.K.pub.K.n) then
+            if not (N.is_one (N.gcd a.K.pub.K.n b.K.pub.K.n)) then
+              shared := true)
+        keys)
+    keys;
+  Alcotest.(check bool) "some pair shares a prime" true !shared
+
+let prop_device_keys_consistent =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"device keys always consistent" ~count:10
+       (QCheck2.Gen.int_range 0 1000)
+       (fun state ->
+         let profile = Rng.vulnerable_shared_prime "r" ~bits:6 in
+         let rng =
+           Rng.boot profile ~device_unique:(string_of_int state)
+             ~boot_state:state
+         in
+         K.is_consistent (K.generate_on_device ~rng ~bits:128 ())))
+
+let tests =
+  [
+    Alcotest.test_case "generate consistent" `Quick test_generate_consistent;
+    Alcotest.test_case "plain style" `Quick test_generate_plain_style;
+    Alcotest.test_case "bad bits rejected" `Quick test_generate_rejects_bad_bits;
+    Alcotest.test_case "encrypt/decrypt" `Quick test_encrypt_decrypt;
+    Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+    Alcotest.test_case "shared-prime pattern" `Quick test_shared_prime_pattern;
+    Alcotest.test_case "distinct boot states" `Quick
+      test_different_boot_states_differ;
+    Alcotest.test_case "patched device strong keys" `Quick
+      test_patched_device_strong_keys;
+    Alcotest.test_case "p = 1 mod e rejected" `Quick
+      test_prime_congruent_one_mod_e;
+    Alcotest.test_case "decrypt crt" `Quick test_decrypt_crt_matches;
+    Alcotest.test_case "key serialization" `Quick test_key_serialization;
+    Alcotest.test_case "recover private from factor" `Quick test_recover_private;
+    Alcotest.test_case "well-formed modulus" `Quick test_well_formed_modulus;
+    Alcotest.test_case "ibm pool structure" `Quick test_ibm_pool;
+    Alcotest.test_case "ibm generate" `Quick test_ibm_generate;
+    Alcotest.test_case "ibm cross-device gcd" `Quick test_ibm_cross_device_gcd;
+    prop_device_keys_consistent;
+  ]

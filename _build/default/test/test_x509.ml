@@ -1,0 +1,179 @@
+(* Tests for dates, distinguished names, and the certificate model. *)
+
+module D = X509lite.Date
+module Dn = X509lite.Dn
+module C = X509lite.Certificate
+module K = Rsa.Keypair
+module N = Bignum.Nat
+
+let date = Alcotest.testable D.pp D.equal
+
+let mk_gen seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
+
+(* One shared key for certificate tests; 512 bits fits SHA-256 EMSA. *)
+let key = lazy (K.generate ~gen:(mk_gen 99) ~bits:512 ())
+
+let mk_cert ?(cn = "system generated") ?(san = []) () =
+  let key = Lazy.force key in
+  C.self_sign
+    ~serial:(N.of_int 1)
+    ~subject:(Dn.make ~cn ~o:"Juniper Networks" ())
+    ~subject_alt_names:san
+    ~not_before:(D.of_ymd 2011 10 1)
+    ~not_after:(D.of_ymd 2021 10 1)
+    ~key ()
+
+(* ---------------- Date ---------------- *)
+
+let test_date_roundtrip () =
+  List.iter
+    (fun (y, m, d) ->
+      let t = D.of_ymd y m d in
+      Alcotest.(check (triple int int int))
+        (Printf.sprintf "%d-%d-%d" y m d)
+        (y, m, d) (D.to_ymd t))
+    [ (1970, 1, 1); (2000, 2, 29); (2012, 6, 30); (2016, 5, 31); (1999, 12, 31) ]
+
+let test_date_epoch () =
+  Alcotest.(check int) "epoch" 0 (D.to_days (D.of_ymd 1970 1 1));
+  Alcotest.(check int) "day 1" 1 (D.to_days (D.of_ymd 1970 1 2));
+  (* Known: 2012-06-01 is 15492 days after the epoch. *)
+  Alcotest.(check int) "2012-06-01" 15492 (D.to_days (D.of_ymd 2012 6 1))
+
+let test_date_month_arith () =
+  Alcotest.check date "add 1 month clamps" (D.of_ymd 2011 2 28)
+    (D.add_months (D.of_ymd 2011 1 31) 1);
+  Alcotest.check date "add 12 months" (D.of_ymd 2013 3 15)
+    (D.add_months (D.of_ymd 2012 3 15) 12);
+  Alcotest.check date "subtract months" (D.of_ymd 2009 11 1)
+    (D.add_months (D.of_ymd 2010 1 1) (-2));
+  Alcotest.(check int) "months_between" 70
+    (D.months_between (D.of_ymd 2016 5 1) (D.of_ymd 2010 7 15))
+
+let test_date_strings () =
+  Alcotest.(check string) "iso" "2014-04-07" (D.to_string (D.of_ymd 2014 4 7));
+  Alcotest.check date "parse" (D.of_ymd 2014 4 7) (D.of_string "2014-04-07");
+  Alcotest.(check string) "figure label" "04/2014"
+    (D.month_label (D.of_ymd 2014 4 7));
+  Alcotest.check_raises "bad month" (Invalid_argument "Date.of_ymd: bad month")
+    (fun () -> ignore (D.of_ymd 2014 13 1))
+
+let prop_date_days_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"date of_days/to_days" ~count:300
+       (QCheck2.Gen.int_range (-100000) 100000)
+       (fun d -> D.to_days (D.of_days d) = d))
+
+let prop_date_ymd_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"date ymd roundtrip over range" ~count:300
+       (QCheck2.Gen.int_range 0 20000)
+       (fun d ->
+         let y, m, dd = D.to_ymd (D.of_days d) in
+         D.to_days (D.of_ymd y m dd) = d))
+
+(* ---------------- Dn ---------------- *)
+
+let test_dn_to_string () =
+  let dn = Dn.make ~cn:"Default Common Name" ~o:"Default Organization" () in
+  Alcotest.(check string) "render"
+    "CN=Default Common Name, O=Default Organization" (Dn.to_string dn)
+
+let test_dn_roundtrip () =
+  List.iter
+    (fun dn ->
+      Alcotest.(check bool) (Dn.to_string dn) true
+        (Dn.equal dn (Dn.of_string (Dn.to_string dn))))
+    [
+      Dn.make ~cn:"system generated" ();
+      Dn.make ~cn:"a, b \\ c=d" ~o:"Cisco" ~ou:"RV220W" ();
+      Dn.make ~extra:[ (Dn.C, "US"); (Dn.Unstructured "serial", "X1") ] ();
+      [];
+    ]
+
+let test_dn_accessors () =
+  let dn =
+    Dn.make ~cn:"fritz.box" ~o:"AVM"
+      ~extra:[ (Dn.OU, "first"); (Dn.OU, "second") ]
+      ()
+  in
+  Alcotest.(check (option string)) "cn" (Some "fritz.box") (Dn.common_name dn);
+  Alcotest.(check (option string)) "o" (Some "AVM") (Dn.organization dn);
+  Alcotest.(check (list string)) "all ou" [ "first"; "second" ]
+    (Dn.get_all dn Dn.OU);
+  Alcotest.(check (option string)) "missing" None (Dn.get dn Dn.Email)
+
+(* ---------------- Certificate ---------------- *)
+
+let test_cert_self_signed () =
+  let c = mk_cert () in
+  Alcotest.(check bool) "self-signed verifies" true (C.is_self_signed c);
+  Alcotest.(check bool) "signature valid under own key" true
+    (C.verify_signature c c.C.public_key)
+
+let test_cert_encode_roundtrip () =
+  let c = mk_cert ~san:[ "fritz.box"; "www.fritz.box" ] () in
+  let c' = C.decode (C.encode c) in
+  Alcotest.(check string) "identical encodings" (C.encode c) (C.encode c');
+  Alcotest.(check bool) "decoded verifies" true (C.is_self_signed c');
+  Alcotest.(check (list string)) "sans preserved"
+    [ "fritz.box"; "www.fritz.box" ]
+    c'.C.subject_alt_names
+
+let test_cert_fingerprint_stability () =
+  let c = mk_cert () in
+  Alcotest.(check string) "fingerprint deterministic" (C.fingerprint c)
+    (C.fingerprint (C.decode (C.encode c)));
+  let c2 = mk_cert ~cn:"other" () in
+  Alcotest.(check bool) "different certs, different fingerprints" false
+    (C.fingerprint c = C.fingerprint c2)
+
+let test_cert_ca_signed () =
+  let ca = K.generate ~gen:(mk_gen 100) ~bits:512 () in
+  let leaf_key = Lazy.force key in
+  let c =
+    C.sign_with ~serial:(N.of_int 7)
+      ~subject:(Dn.make ~cn:"device.local" ())
+      ~not_before:(D.of_ymd 2012 1 1) ~not_after:(D.of_ymd 2017 1 1)
+      ~subject_key:leaf_key.K.pub
+      ~issuer:(Dn.make ~cn:"Example CA" ~o:"Example" ())
+      ~issuer_key:ca ()
+  in
+  Alcotest.(check bool) "verifies under CA key" true
+    (C.verify_signature c ca.K.pub);
+  Alcotest.(check bool) "not under own key" false
+    (C.verify_signature c c.C.public_key);
+  Alcotest.(check bool) "not self-signed" false (C.is_self_signed c)
+
+let test_rimon_substitution () =
+  (* Substituting the public key keeps the certificate body intact but
+     breaks the signature — exactly what the paper observed. *)
+  let mitm = K.generate ~gen:(mk_gen 101) ~bits:512 () in
+  let c = mk_cert () in
+  let c' = C.substitute_public_key c mitm.K.pub in
+  Alcotest.(check bool) "subject unchanged" true (Dn.equal c.C.subject c'.C.subject);
+  Alcotest.(check bool) "serial unchanged" true (N.equal c.C.serial c'.C.serial);
+  Alcotest.(check bool) "signature now invalid" false
+    (C.verify_signature c' c'.C.public_key);
+  Alcotest.(check bool) "key actually replaced" true
+    (N.equal c'.C.public_key.K.n mitm.K.pub.K.n)
+
+let tests =
+  [
+    Alcotest.test_case "date roundtrip" `Quick test_date_roundtrip;
+    Alcotest.test_case "date epoch" `Quick test_date_epoch;
+    Alcotest.test_case "date month arithmetic" `Quick test_date_month_arith;
+    Alcotest.test_case "date strings" `Quick test_date_strings;
+    prop_date_days_roundtrip;
+    prop_date_ymd_roundtrip;
+    Alcotest.test_case "dn render" `Quick test_dn_to_string;
+    Alcotest.test_case "dn roundtrip" `Quick test_dn_roundtrip;
+    Alcotest.test_case "dn accessors" `Quick test_dn_accessors;
+    Alcotest.test_case "cert self-signed" `Quick test_cert_self_signed;
+    Alcotest.test_case "cert encode roundtrip" `Quick test_cert_encode_roundtrip;
+    Alcotest.test_case "cert fingerprint" `Quick test_cert_fingerprint_stability;
+    Alcotest.test_case "cert ca-signed" `Quick test_cert_ca_signed;
+    Alcotest.test_case "rimon substitution" `Quick test_rimon_substitution;
+  ]

@@ -1,0 +1,112 @@
+(* Tests for signed integers: sign algebra, Euclidean division,
+   extended GCD identity, CRT reconstruction. *)
+
+module N = Bignum.Nat
+module Z = Bignum.Zz
+
+let zz = Alcotest.testable Z.pp Z.equal
+let nat = Alcotest.testable N.pp N.equal
+
+let arb_zz =
+  let open QCheck2.Gen in
+  let nat_gen =
+    map
+      (fun (bits, s) ->
+        if bits = 0 then N.zero
+        else N.random_bits (fun k -> String.sub s 0 k) bits)
+      (pair (int_range 0 256)
+         (string_size ~gen:(map Char.chr (int_range 0 255)) (return 32)))
+  in
+  map (fun (n, neg) -> if neg then Z.neg (Z.of_nat n) else Z.of_nat n)
+    (pair nat_gen bool)
+
+let prop name ?(count = 300) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let test_basic () =
+  Alcotest.check zz "1 + -1 = 0" Z.zero (Z.add Z.one Z.minus_one);
+  Alcotest.check zz "-1 * -1 = 1" Z.one (Z.mul Z.minus_one Z.minus_one);
+  Alcotest.(check string) "to_string" "-42" (Z.to_string (Z.of_int (-42)));
+  Alcotest.check zz "of_string neg" (Z.of_int (-42)) (Z.of_string "-42");
+  Alcotest.(check int) "sign" (-1) (Z.sign (Z.of_int (-5)));
+  Alcotest.(check int) "sign zero" 0 (Z.sign Z.zero)
+
+let test_euclidean_division () =
+  (* Remainder is always non-negative, quotient rounds accordingly. *)
+  List.iter
+    (fun (a, b, q, r) ->
+      let q', r' = Z.divmod (Z.of_int a) (Z.of_int b) in
+      Alcotest.check zz (Printf.sprintf "%d /e %d q" a b) (Z.of_int q) q';
+      Alcotest.check zz (Printf.sprintf "%d /e %d r" a b) (Z.of_int r) r')
+    [
+      (7, 3, 2, 1);
+      (-7, 3, -3, 2);
+      (7, -3, -2, 1);
+      (-7, -3, 3, 2);
+      (6, 3, 2, 0);
+      (-6, 3, -2, 0);
+    ]
+
+let test_egcd_identity () =
+  let a = N.of_string "123456789123456789" in
+  let b = N.of_string "987654321987654321987" in
+  let g, x, y = Z.egcd a b in
+  let lhs = Z.add (Z.mul (Z.of_nat a) x) (Z.mul (Z.of_nat b) y) in
+  Alcotest.check zz "a*x + b*y = g" (Z.of_nat g) lhs;
+  Alcotest.check nat "g = gcd" (N.gcd a b) g
+
+let test_crt () =
+  (* x = 2 mod 3, x = 3 mod 5, x = 2 mod 7  ->  23 mod 105 *)
+  let p n = N.of_int n in
+  (match Z.crt [ (p 2, p 3); (p 3, p 5); (p 2, p 7) ] with
+  | Some x -> Alcotest.check nat "sunzi" (p 23) x
+  | None -> Alcotest.fail "crt failed");
+  (* Conflicting congruences on non-coprime moduli *)
+  match Z.crt [ (p 1, p 4); (p 2, p 6) ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected conflict"
+
+let test_crt_compatible_noncoprime () =
+  let p n = N.of_int n in
+  match Z.crt [ (p 2, p 4); (p 2, p 6) ] with
+  | Some x ->
+    Alcotest.(check int) "x mod 4" 2 (N.mod_int x 4);
+    Alcotest.(check int) "x mod 6" 2 (N.mod_int x 6)
+  | None -> Alcotest.fail "compatible congruences must solve"
+
+let props =
+  let pair = QCheck2.Gen.pair arb_zz arb_zz in
+  [
+    prop "add comm" pair (fun (a, b) -> Z.equal (Z.add a b) (Z.add b a));
+    prop "neg involutive" arb_zz (fun a -> Z.equal a (Z.neg (Z.neg a)));
+    prop "sub = add neg" pair (fun (a, b) ->
+        Z.equal (Z.sub a b) (Z.add a (Z.neg b)));
+    prop "mul sign" pair (fun (a, b) ->
+        Z.sign (Z.mul a b) = Z.sign a * Z.sign b);
+    prop "euclidean invariant" pair (fun (a, b) ->
+        if Z.sign b = 0 then true
+        else begin
+          let q, r = Z.divmod a b in
+          Z.equal a (Z.add (Z.mul q b) r)
+          && Z.sign r >= 0
+          && N.compare (Z.abs r) (Z.abs b) < 0
+        end);
+    prop "string roundtrip" arb_zz (fun a ->
+        Z.equal a (Z.of_string (Z.to_string a)));
+    prop "egcd identity" pair (fun (a, b) ->
+        let a = Z.abs a and b = Z.abs b in
+        let g, x, y = Z.egcd a b in
+        Z.equal (Z.of_nat g)
+          (Z.add (Z.mul (Z.of_nat a) x) (Z.mul (Z.of_nat b) y)));
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "basics" `Quick test_basic;
+    Alcotest.test_case "euclidean division" `Quick test_euclidean_division;
+    Alcotest.test_case "egcd identity" `Quick test_egcd_identity;
+    Alcotest.test_case "crt" `Quick test_crt;
+    Alcotest.test_case "crt non-coprime compatible" `Quick
+      test_crt_compatible_noncoprime;
+  ]
+  @ props

@@ -1,0 +1,17 @@
+(* Shared simulated worlds for the test suite. Built lazily once and
+   reused by the netsim, fingerprint, analysis and pipeline tests. *)
+
+let small_config =
+  {
+    Netsim.World.default_config with
+    Netsim.World.seed = "test-world";
+    scale = 0.05;
+  }
+
+let small = lazy (Netsim.World.build small_config)
+let small_scans = lazy (Netsim.Scanner.run_all (Lazy.force small))
+let small_pipeline = lazy (Weakkeys.Pipeline.of_world (Lazy.force small))
+
+let gen_of seed =
+  let st = Random.State.make [| seed |] in
+  fun n -> String.init n (fun _ -> Char.chr (Random.State.int st 256))
