@@ -1,0 +1,47 @@
+(* weakkeys-lint: project-specific static analysis for the weakkeys
+   tree. See LINTING.md for the rule catalogue and suppression
+   syntax. Exit codes: 0 clean, 1 findings, 2 usage/IO error. *)
+
+let usage =
+  "usage: weakkeys_lint [--json] [--list-rules] [path ...]\n\
+   \n\
+   Lints the given .ml files and directories (recursively). With no\n\
+   paths, lints lib, bin, bench and test under the current directory."
+
+let list_rules () =
+  List.iter
+    (fun (r : Lint.Rules.t) ->
+      Printf.printf "%-22s %-7s %s\n    hint: %s\n" r.id
+        (Lint.Rules.severity_to_string r.severity)
+        r.doc r.hint)
+    Lint.Rules.all
+
+let () =
+  let json = ref false in
+  let listing = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " machine-readable JSON output");
+      ("--list-rules", Arg.Set listing, " print the rule catalogue and exit");
+    ]
+  in
+  (try Arg.parse_argv Sys.argv spec (fun p -> paths := p :: !paths) usage
+   with
+  | Arg.Bad msg -> prerr_string msg; exit 2
+  | Arg.Help msg -> print_string msg; exit 0);
+  if !listing then (list_rules (); exit 0);
+  let paths =
+    match List.rev !paths with
+    | [] -> List.filter Sys.file_exists [ "lib"; "bin"; "bench"; "test" ]
+    | ps -> ps
+  in
+  match Lint.Engine.lint_paths paths with
+  | exception Sys_error msg ->
+    Printf.eprintf "weakkeys_lint: %s\n" msg;
+    exit 2
+  | findings ->
+    print_string
+      (if !json then Lint.Engine.to_json findings ^ "\n"
+       else Lint.Engine.to_text findings);
+    exit (if findings = [] then 0 else 1)

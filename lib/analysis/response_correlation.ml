@@ -1,5 +1,3 @@
-module Sc = Netsim.Scanner
-
 type outcome = {
   vendor : string;
   response : Netsim.Vendor.response;

@@ -1,6 +1,5 @@
 module Sc = Netsim.Scanner
 module Date = X509lite.Date
-module N = Bignum.Nat
 
 type point = {
   date : Date.t;

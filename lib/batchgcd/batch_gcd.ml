@@ -123,6 +123,13 @@ let factor_subsets ?domains ~k moduli =
   end
 
 let findings_equal a b =
-  let key f = (f.index, N.to_limbs f.modulus, N.to_limbs f.divisor) in
-  let sort l = List.sort Stdlib.compare (List.map key l) in
-  sort a = sort b
+  let cmp f g =
+    match Int.compare f.index g.index with
+    | 0 -> (
+      match N.compare f.modulus g.modulus with
+      | 0 -> N.compare f.divisor g.divisor
+      | c -> c)
+    | c -> c
+  in
+  let sort l = List.sort cmp l in
+  List.equal (fun f g -> cmp f g = 0) (sort a) (sort b)

@@ -16,7 +16,6 @@ type ctx = {
   s : int;
   n0' : int; (* -n^-1 mod 2^31 *)
   r2 : int array; (* R^2 mod n, as s limbs *)
-  one_mont : int array; (* R mod n, as s limbs *)
 }
 
 let fixed_limbs s x =
@@ -51,7 +50,6 @@ let create n =
         s;
         n0';
         r2 = fixed_limbs s r2;
-        one_mont = fixed_limbs s r;
       }
   end
 

@@ -13,8 +13,10 @@ let limb_bits = 31
 let base = 1 lsl limb_bits
 let mask = base - 1
 
-let karatsuba_threshold = ref 24
-let burnikel_ziegler_threshold = ref 40
+(* Deliberate tuning knobs: set once by bench/main.ml calibration and
+   restored afterwards, never written on the computation paths. *)
+let karatsuba_threshold = ref 24 (* lint: allow toplevel-ref *)
+let burnikel_ziegler_threshold = ref 40 (* lint: allow toplevel-ref *)
 
 let zero : t = [||]
 let is_zero (a : t) = Array.length a = 0
@@ -64,11 +66,11 @@ let to_limbs (a : t) = Array.copy a
 
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if la <> lb then Int.compare la lb
   else
     let rec go i =
       if i < 0 then 0
-      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
       else go (i - 1)
     in
     go (la - 1)

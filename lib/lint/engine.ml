@@ -1,0 +1,175 @@
+type finding = {
+  rule : string;
+  severity : Rules.severity;
+  path : string;
+  line : int;
+  message : string;
+  hint : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let drop_prefix prefix s =
+  String.trim (String.sub s (String.length prefix)
+                 (String.length s - String.length prefix))
+
+let split_ids s =
+  String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) s)
+  |> List.filter (fun id -> id <> "")
+
+(* A directive [(* lint: allow id1, id2 *)] covers every line the
+   comment itself spans plus the line directly below, so it works both
+   trailing on the offending line and on its own line above. *)
+type directive = { ids : string list; first : int; last : int }
+
+let directives tokens =
+  List.filter_map
+    (fun (t : Lexer.token) ->
+      match t.kind with
+      | Lexer.Comment text ->
+        let body = String.trim text in
+        if starts_with "lint:" body then
+          let rest = drop_prefix "lint:" body in
+          if starts_with "allow" rest then
+            let newlines =
+              String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text
+            in
+            Some
+              { ids = split_ids (drop_prefix "allow" rest);
+                first = t.line;
+                last = t.line + newlines + 1 }
+          else None
+        else None
+      | _ -> None)
+    tokens
+
+let suppressed ds (f : finding) =
+  List.exists
+    (fun d -> f.line >= d.first && f.line <= d.last && List.mem f.rule d.ids)
+    ds
+
+(* ------------------------------------------------------------------ *)
+(* Linting                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let normalize_path p =
+  let p = if starts_with "./" p then String.sub p 2 (String.length p - 2) else p in
+  String.concat "/" (List.filter (fun s -> s <> "") (String.split_on_char '/' p))
+
+let lint_source ~path ?mli_exists src =
+  let path = normalize_path path in
+  let tokens = Lexer.tokenize src in
+  let ctx = { Rules.path; mli_exists; tokens } in
+  let ds = directives tokens in
+  Rules.all
+  |> List.concat_map (fun (r : Rules.t) ->
+         List.map
+           (fun (f : Rules.finding) ->
+             { rule = r.id;
+               severity = r.severity;
+               path;
+               line = f.line;
+               message = f.message;
+               hint = r.hint })
+           (r.check ctx))
+  |> List.filter (fun f -> not (suppressed ds f))
+  |> List.sort (fun a b ->
+         match Int.compare a.line b.line with
+         | 0 -> String.compare a.rule b.rule
+         | c -> c)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let skip_dir name = name = "_build" || (String.length name > 0 && name.[0] = '.')
+
+let rec gather acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if skip_dir name then acc else gather acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths paths =
+  let files = List.fold_left gather [] paths |> List.sort_uniq String.compare in
+  List.concat_map
+    (fun file ->
+      let mli_exists =
+        Sys.file_exists (Filename.chop_suffix file ".ml" ^ ".mli")
+      in
+      lint_source ~path:file ~mli_exists (read_file file))
+    files
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let summary fs =
+  let errors =
+    List.length (List.filter (fun f -> f.severity = Rules.Error) fs)
+  in
+  match fs with
+  | [] -> "weakkeys-lint: no findings"
+  | _ ->
+    Printf.sprintf "weakkeys-lint: %d finding%s (%d error%s, %d warning%s)"
+      (List.length fs)
+      (if List.length fs = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      (List.length fs - errors)
+      (if List.length fs - errors = 1 then "" else "s")
+
+let to_text fs =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d: [%s] %s: %s\n    hint: %s\n" f.path f.line
+           (Rules.severity_to_string f.severity)
+           f.rule f.message f.hint))
+    fs;
+  Buffer.add_string buf (summary fs);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json fs =
+  let field k v = Printf.sprintf "\"%s\": \"%s\"" k (json_escape v) in
+  let one f =
+    String.concat ", "
+      [ field "rule" f.rule;
+        field "severity" (Rules.severity_to_string f.severity);
+        field "path" f.path;
+        Printf.sprintf "\"line\": %d" f.line;
+        field "message" f.message;
+        field "hint" f.hint ]
+  in
+  "[\n" ^ String.concat ",\n" (List.map (fun f -> "  { " ^ one f ^ " }") fs)
+  ^ (if fs = [] then "]" else "\n]")

@@ -1,0 +1,34 @@
+(** Driver for the weakkeys-lint rule set: runs every rule over source
+    files, honours inline [(* lint: allow <rule-id> *)] suppressions,
+    and renders findings as text or JSON. *)
+
+type finding = {
+  rule : string;
+  severity : Rules.severity;
+  path : string;
+  line : int;
+  message : string;
+  hint : string;
+}
+
+val lint_source : path:string -> ?mli_exists:bool -> string -> finding list
+(** Lint one compilation unit given as a string. [path] is the
+    repo-relative path used for rule scoping ([lib/...], [test/...]);
+    it does not have to exist on disk. Findings are sorted by line.
+    A suppression comment covers its own line(s) and the line directly
+    below it, and may name several rules separated by commas or
+    spaces. *)
+
+val lint_paths : string list -> finding list
+(** Lint files and/or directories (recursed; [_build], [.git] and
+    other dot-directories are skipped; only [.ml] files are read).
+    Sibling [.mli] presence is checked on disk for the [missing-mli]
+    rule. Findings are sorted by path, then line. Raises
+    [Sys_error] on unreadable paths. *)
+
+val to_text : finding list -> string
+(** One [path:line: [severity] rule: message] block per finding, with
+    the fix hint, plus a summary line. *)
+
+val to_json : finding list -> string
+(** A JSON array of finding objects. *)

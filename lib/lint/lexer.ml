@@ -1,0 +1,182 @@
+type kind =
+  | Ident of string
+  | Sym of string
+  | Number of string
+  | String_lit
+  | Char_lit
+  | Comment of string
+
+type token = { kind : kind; line : int; col : int }
+
+let is_code t = match t.kind with Comment _ -> false | _ -> true
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Number continuation: covers hex/octal/binary literals, underscores
+   and the mantissa dot. Exponent signs split off as operators, which
+   is harmless for lint purposes. *)
+let is_number_char c =
+  is_digit c || is_ident_start c || c = '.'
+
+let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+
+(* State threaded through the scan. [line]/[bol] give the position of
+   any index cheaply without a second pass. *)
+type cursor = { src : string; len : int; mutable i : int; mutable line : int; mutable bol : int }
+
+let peek cur k = if cur.i + k < cur.len then Some cur.src.[cur.i + k] else None
+
+let advance cur =
+  (if cur.i < cur.len && cur.src.[cur.i] = '\n' then begin
+     cur.line <- cur.line + 1;
+     cur.bol <- cur.i + 1
+   end);
+  cur.i <- cur.i + 1
+
+(* Skip a double-quoted string body; [cur.i] is on the opening quote. *)
+let skip_string cur =
+  advance cur;
+  let rec go () =
+    match peek cur 0 with
+    | None -> ()
+    | Some '\\' -> advance cur; advance cur; go ()
+    | Some '"' -> advance cur
+    | Some _ -> advance cur; go ()
+  in
+  go ()
+
+(* [{id|...|id}] quoted strings: returns true (and consumes) when the
+   brace at [cur.i] really opens one. *)
+let try_quoted_string cur =
+  let j = ref (cur.i + 1) in
+  while
+    !j < cur.len
+    && (let c = cur.src.[!j] in (c >= 'a' && c <= 'z') || c = '_')
+  do incr j done;
+  if !j < cur.len && cur.src.[!j] = '|' then begin
+    let id = String.sub cur.src (cur.i + 1) (!j - cur.i - 1) in
+    let closing = "|" ^ id ^ "}" in
+    let clen = String.length closing in
+    (* move past "{id|" *)
+    while cur.i <= !j do advance cur done;
+    let matched = ref false in
+    while (not !matched) && cur.i < cur.len do
+      if cur.i + clen <= cur.len && String.sub cur.src cur.i clen = closing
+      then begin
+        for _ = 1 to clen do advance cur done;
+        matched := true
+      end
+      else advance cur
+    done;
+    true
+  end
+  else false
+
+(* Comment body with nesting; strings inside comments are honoured so
+   a ["*)"] literal cannot close the comment early. [cur.i] is on the
+   '(' of "(*". Returns the comment text without delimiters. *)
+let scan_comment cur =
+  let start = cur.i + 2 in
+  advance cur; advance cur;
+  let depth = ref 1 in
+  while !depth > 0 && cur.i < cur.len do
+    match peek cur 0, peek cur 1 with
+    | Some '(', Some '*' -> incr depth; advance cur; advance cur
+    | Some '*', Some ')' -> decr depth; advance cur; advance cur
+    | Some '"', _ -> skip_string cur
+    | Some _, _ -> advance cur
+    | None, _ -> ()
+  done;
+  let stop = if !depth = 0 then cur.i - 2 else cur.i in
+  String.sub cur.src start (Stdlib.max 0 (stop - start))
+
+(* Identifier, joined across '.' into a qualified path when the next
+   segment starts like an identifier. *)
+let scan_ident cur =
+  let start = cur.i in
+  let rec segment () =
+    while (match peek cur 0 with Some c -> is_ident_char c | None -> false) do
+      advance cur
+    done;
+    match peek cur 0, peek cur 1 with
+    | Some '.', Some c when is_ident_start c -> advance cur; segment ()
+    | _ -> ()
+  in
+  segment ();
+  String.sub cur.src start (cur.i - start)
+
+let scan_number cur =
+  let start = cur.i in
+  while (match peek cur 0 with Some c -> is_number_char c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.i - start)
+
+let scan_op cur =
+  let start = cur.i in
+  while (match peek cur 0 with Some c -> is_op_char c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.i - start)
+
+(* After a quote: char literal ['a'] / ['\n'] / ['\xFF'], or a type
+   variable ['a]. Distinguished by looking for the closing quote. *)
+let scan_quote cur =
+  match peek cur 1 with
+  | Some '\\' ->
+    advance cur; advance cur;
+    let rec go () =
+      match peek cur 0 with
+      | Some '\'' -> advance cur
+      | Some _ -> advance cur; go ()
+      | None -> ()
+    in
+    go ();
+    Some Char_lit
+  | Some _ when peek cur 2 = Some '\'' ->
+    advance cur; advance cur; advance cur;
+    Some Char_lit
+  | _ ->
+    (* type variable or standalone quote: skip the variable name *)
+    advance cur;
+    while (match peek cur 0 with Some c -> is_ident_char c | None -> false) do
+      advance cur
+    done;
+    None
+
+let tokenize src =
+  let cur = { src; len = String.length src; i = 0; line = 1; bol = 0 } in
+  let out = ref [] in
+  let emit ~line ~col kind = out := { kind; line; col } :: !out in
+  while cur.i < cur.len do
+    let line = cur.line and col = cur.i - cur.bol in
+    let c = cur.src.[cur.i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance cur
+    else if c = '(' && peek cur 1 = Some '*' then
+      let text = scan_comment cur in
+      emit ~line ~col (Comment text)
+    else if c = '"' then begin
+      skip_string cur;
+      emit ~line ~col String_lit
+    end
+    else if c = '{' && try_quoted_string cur then emit ~line ~col String_lit
+    else if c = '\'' then begin
+      match scan_quote cur with
+      | Some k -> emit ~line ~col k
+      | None -> ()
+    end
+    else if is_ident_start c then emit ~line ~col (Ident (scan_ident cur))
+    else if is_digit c then emit ~line ~col (Number (scan_number cur))
+    else if is_op_char c then emit ~line ~col (Sym (scan_op cur))
+    else begin
+      advance cur;
+      emit ~line ~col (Sym (String.make 1 c))
+    end
+  done;
+  List.rev !out

@@ -1,0 +1,29 @@
+(** Lightweight OCaml lexer for [weakkeys-lint].
+
+    Tokenizes just enough of the language for lexical lint rules:
+    comments and string literals are recognised (and therefore never
+    produce spurious identifier or operator tokens), identifiers are
+    joined across [.] into qualified paths ([Random.self_init] is a
+    single token), and symbolic operators use maximal munch so that
+    [@@] is never mistaken for two [@]. No compiler-libs dependency. *)
+
+type kind =
+  | Ident of string
+      (** Identifier or keyword, possibly dot-qualified ([Foo.Bar.baz],
+          [t.field]). [_] is an [Ident "_"]. *)
+  | Sym of string  (** Symbolic operator or punctuation: [==], [->], [{], ... *)
+  | Number of string  (** Integer or float literal. *)
+  | String_lit  (** String literal (contents deliberately dropped). *)
+  | Char_lit  (** Character literal. *)
+  | Comment of string  (** Full comment text without the delimiters. *)
+
+type token = { kind : kind; line : int; col : int }
+(** [line] is 1-based, [col] is 0-based, both at the token start. *)
+
+val tokenize : string -> token list
+(** [tokenize src] lexes a whole compilation unit. Unterminated
+    comments or strings are tolerated (the open token simply extends to
+    the end of input); the lexer never raises. *)
+
+val is_code : token -> bool
+(** True for every kind except [Comment]. *)

@@ -1,0 +1,398 @@
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type finding = { line : int; message : string }
+
+type ctx = {
+  path : string;
+  mli_exists : bool option;
+  tokens : Lexer.token list;
+}
+
+type t = {
+  id : string;
+  severity : severity;
+  doc : string;
+  hint : string;
+  check : ctx -> finding list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with suffix s =
+  String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix)
+     = suffix
+
+let strip_stdlib s =
+  if starts_with "Stdlib." s then
+    String.sub s 7 (String.length s - 7)
+  else s
+
+let code ctx = List.filter Lexer.is_code ctx.tokens
+
+let in_dir dir path = starts_with (dir ^ "/") path
+
+(* Flag every code identifier satisfying [pred]. *)
+let flag_idents pred message ctx =
+  List.filter_map
+    (fun (t : Lexer.token) ->
+      match t.kind with
+      | Lexer.Ident s when Lexer.is_code t && pred s ->
+        Some { line = t.line; message = message s }
+      | _ -> None)
+    ctx.tokens
+
+(* ------------------------------------------------------------------ *)
+(* Rule 1: determinism — no ambient RNG outside Netsim.Det             *)
+(* ------------------------------------------------------------------ *)
+
+(* [Random.State] threaded from an explicit seed replays identically,
+   so it stays legal (the test suite relies on it); everything touching
+   the ambient global generator — or self-seeding — does not. *)
+let det_random ctx =
+  if ctx.path = "lib/netsim/det.ml" then []
+  else
+    flag_idents
+      (fun s ->
+        let s = strip_stdlib s in
+        (s = "Random" || starts_with "Random." s)
+        && not
+             (starts_with "Random.State." s
+             && s <> "Random.State.make_self_init")
+      )
+      (fun s -> Printf.sprintf "nondeterministic RNG call `%s`" s)
+      ctx
+
+(* ------------------------------------------------------------------ *)
+(* Rule 2: no physical equality on values                              *)
+(* ------------------------------------------------------------------ *)
+
+let phys_equal ctx =
+  List.filter_map
+    (fun (t : Lexer.token) ->
+      match t.kind with
+      | Lexer.Sym (("==" | "!=") as op) ->
+        Some
+          { line = t.line;
+            message = Printf.sprintf "physical equality `%s`" op }
+      | _ -> None)
+    ctx.tokens
+
+(* ------------------------------------------------------------------ *)
+(* Rule 3: no polymorphic compare in the bignum layers                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A file that defines its own top-level [let compare] (Nat, Zz) may of
+   course call it unqualified; only files without such a definition are
+   using [Stdlib.compare], which on [Nat.t] would order by limb-array
+   identity rather than numeric value. *)
+let poly_compare ctx =
+  if not (in_dir "lib/bignum" ctx.path || in_dir "lib/batchgcd" ctx.path)
+  then []
+  else
+    let defines_compare =
+      let rec scan = function
+        | { Lexer.kind = Lexer.Ident "let"; _ }
+          :: { Lexer.kind = Lexer.Ident "compare"; _ } :: _ -> true
+        | _ :: rest -> scan rest
+        | [] -> false
+      in
+      scan (code ctx)
+    in
+    flag_idents
+      (fun s ->
+        s = "Stdlib.compare" || ((not defines_compare) && s = "compare"))
+      (fun s -> Printf.sprintf "polymorphic `%s` on bignum values" s)
+      ctx
+
+(* ------------------------------------------------------------------ *)
+(* Rule 4: no catch-all exception handlers                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Lexical [with]-binder tracking: a [with] resolves the innermost
+   open [try], [match] or record-update brace. Only a [try]'s [with]
+   whose first pattern is a bare [_] is flagged; a trailing [| _ ->]
+   arm deeper in a handler is beyond a lexical pass (documented in
+   LINTING.md). *)
+let catchall_exn ctx =
+  let findings = ref [] in
+  let rec run stack = function
+    | [] -> ()
+    | ({ Lexer.kind; line; _ } : Lexer.token) :: rest -> (
+      match kind with
+      | Lexer.Ident "try" -> run (`Try :: stack) rest
+      | Lexer.Ident "match" -> run (`Match :: stack) rest
+      | Lexer.Sym "{" -> run (`Brace :: stack) rest
+      | Lexer.Sym "}" ->
+        run (match stack with `Brace :: tl -> tl | s -> s) rest
+      | Lexer.Ident "with" -> (
+        match stack with
+        | `Try :: tl ->
+          (let arm =
+             match rest with
+             | { Lexer.kind = Lexer.Sym "|"; _ } :: r -> r
+             | r -> r
+           in
+           match arm with
+           | { Lexer.kind = Lexer.Ident "_"; _ }
+             :: { Lexer.kind = Lexer.Sym "->"; _ } :: _ ->
+             findings :=
+               { line; message = "catch-all `try ... with _ ->`" }
+               :: !findings
+           | _ -> ());
+          run tl rest
+        | `Match :: tl -> run tl rest
+        | _ -> run stack rest)
+      | _ -> run stack rest)
+  in
+  run [] (code ctx);
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rule 5: library code never writes to stdout/stderr                  *)
+(* ------------------------------------------------------------------ *)
+
+let stdout_writers =
+  [ "Printf.printf"; "Printf.eprintf"; "Format.printf"; "Format.eprintf";
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_char"; "print_float"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline" ]
+
+let lib_stdout ctx =
+  if not (in_dir "lib" ctx.path) then []
+  else
+    flag_idents
+      (fun s -> List.mem (strip_stdlib s) stdout_writers)
+      (fun s -> Printf.sprintf "direct console output `%s` in library code" s)
+      ctx
+
+(* ------------------------------------------------------------------ *)
+(* Rule 6: failwith only inside *_exn functions                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The enclosing function is approximated by the most recent top-level
+   (column-0) [let]/[and] binding — good enough for this codebase's
+   formatting, and cheap. *)
+let failwith_outside_exn ctx =
+  let findings = ref [] in
+  let current = ref "" in
+  let rec run = function
+    | [] -> ()
+    | ({ Lexer.kind = Lexer.Ident ("let" | "and"); col = 0; _ } : Lexer.token)
+      :: rest -> (
+      match rest with
+      | { Lexer.kind = Lexer.Ident "rec"; _ }
+        :: { Lexer.kind = Lexer.Ident name; _ } :: r
+      | { Lexer.kind = Lexer.Ident name; _ } :: r ->
+        current := name;
+        run r
+      | r ->
+        current := "";
+        run r)
+    | { Lexer.kind = Lexer.Ident id; line; _ } :: rest
+      when strip_stdlib id = "failwith" ->
+      if not (ends_with "_exn" !current) then
+        findings :=
+          { line;
+            message =
+              Printf.sprintf "`failwith` outside an `_exn` function%s"
+                (if !current = "" then "" else " (in `" ^ !current ^ "`)") }
+          :: !findings;
+      run rest
+    | _ :: rest -> run rest
+  in
+  run (code ctx);
+  List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rule 7: no top-level mutable state in libraries                     *)
+(* ------------------------------------------------------------------ *)
+
+let toplevel_ref ctx =
+  if not (in_dir "lib" ctx.path) then []
+  else
+    let findings = ref [] in
+    let rec run = function
+      | ({ Lexer.kind = Lexer.Ident "let"; col = 0; _ } : Lexer.token)
+        :: { Lexer.kind = Lexer.Ident name; _ }
+        :: { Lexer.kind = Lexer.Sym "="; line; _ }
+        :: { Lexer.kind = Lexer.Ident "ref"; _ } :: rest ->
+        findings :=
+          { line;
+            message =
+              Printf.sprintf "top-level mutable state `let %s = ref ...`" name }
+          :: !findings;
+        run rest
+      | _ :: rest -> run rest
+      | [] -> ()
+    in
+    run (code ctx);
+    List.rev !findings
+
+(* ------------------------------------------------------------------ *)
+(* Rule 8: every library module has an interface                       *)
+(* ------------------------------------------------------------------ *)
+
+let missing_mli ctx =
+  match ctx.mli_exists with
+  | Some false when in_dir "lib" ctx.path && ends_with ".ml" ctx.path ->
+    [ { line = 1; message = "library module without a matching `.mli`" } ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Rule 9: no quadratic list append on hot paths                       *)
+(* ------------------------------------------------------------------ *)
+
+let hot_module path =
+  in_dir "lib/batchgcd" path || path = "lib/netsim/world.ml"
+
+let nontail_append ctx =
+  if not (hot_module ctx.path) then []
+  else
+    let rec run prev = function
+      | [] -> []
+      | ({ Lexer.kind; line; _ } : Lexer.token) :: rest -> (
+        match kind with
+        | Lexer.Sym "@" when prev <> Some (Lexer.Sym "[") ->
+          (* [@attr] is an attribute, not an append *)
+          { line; message = "list append `@` in a hot module" }
+          :: run (Some kind) rest
+        | Lexer.Ident id when strip_stdlib id = "List.append" ->
+          { line; message = "`List.append` in a hot module" }
+          :: run (Some kind) rest
+        | _ -> run (Some kind) rest)
+    in
+    run None (code ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Rule 10: task markers must carry an issue tag                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A marker is well-formed when immediately followed by "(#<digits>)",
+   e.g. TODO(#42). *)
+let marker_tagged text i marker =
+  let j = i + String.length marker in
+  let len = String.length text in
+  j + 2 < len
+  && text.[j] = '('
+  && text.[j + 1] = '#'
+  && (let k = ref (j + 2) in
+      while !k < len && text.[!k] >= '0' && text.[!k] <= '9' do incr k done;
+      !k > j + 2 && !k < len && text.[!k] = ')')
+
+let find_markers text =
+  let hits = ref [] in
+  List.iter
+    (fun marker ->
+      let mlen = String.length marker in
+      let len = String.length text in
+      for i = 0 to len - mlen do
+        if String.sub text i mlen = marker && not (marker_tagged text i marker)
+        then
+          (* line offset of the hit inside a multi-line comment *)
+          let off = ref 0 in
+          (String.iteri (fun k c -> if k < i && c = '\n' then incr off) text;
+           hits := (marker, !off) :: !hits)
+      done)
+    [ "TODO"; "FIXME" ];
+  !hits
+
+let todo_issue_tag ctx =
+  List.concat_map
+    (fun (t : Lexer.token) ->
+      match t.kind with
+      | Lexer.Comment text ->
+        List.map
+          (fun (marker, off) ->
+            { line = t.line + off;
+              message =
+                Printf.sprintf "`%s` without an issue tag like `%s(#123)`"
+                  marker marker })
+          (find_markers text)
+      | _ -> [])
+    ctx.tokens
+
+(* ------------------------------------------------------------------ *)
+(* Catalogue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    { id = "det-random";
+      severity = Error;
+      doc =
+        "ambient Stdlib.Random breaks seed-replayable simulation; use \
+         Netsim.Det or an explicitly seeded Random.State";
+      hint = "derive values from Netsim.Det.int/float/bytes keyed on the seed";
+      check = det_random };
+    { id = "phys-equal";
+      severity = Error;
+      doc =
+        "== / != compare heap identity; on boxed Nat.t/Zz.t two equal \
+         numbers are routinely distinct blocks";
+      hint = "use =, Nat.equal or Zz.equal";
+      check = phys_equal };
+    { id = "poly-compare";
+      severity = Error;
+      doc =
+        "polymorphic compare in lib/bignum and lib/batchgcd orders limb \
+         arrays structurally, not numerically";
+      hint = "use Nat.compare / Zz.compare / Nat.equal";
+      check = poly_compare };
+    { id = "catchall-exn";
+      severity = Error;
+      doc = "try ... with _ -> silently swallows every exception, \
+             including Out_of_memory and Assert_failure";
+      hint = "match the specific exception, or bind it and re-raise";
+      check = catchall_exn };
+    { id = "lib-stdout";
+      severity = Error;
+      doc =
+        "library code must not print; all reporting goes through \
+         Weakkeys.Report so the CLI owns the channel";
+      hint = "return a string / Buffer, or extend Weakkeys.Report";
+      check = lib_stdout };
+    { id = "failwith-outside-exn";
+      severity = Warning;
+      doc =
+        "failwith-raising helpers must advertise it with an _exn suffix \
+         so callers know to handle Failure";
+      hint = "rename the function to *_exn, or return an option/result";
+      check = failwith_outside_exn };
+    { id = "toplevel-ref";
+      severity = Warning;
+      doc =
+        "top-level refs are cross-run, cross-domain shared state; they \
+         break replay determinism and the parallel batch-GCD pool";
+      hint = "thread the state through a record, or suppress for a \
+              deliberate tuning knob";
+      check = toplevel_ref };
+    { id = "missing-mli";
+      severity = Error;
+      doc = "every lib/ module needs a .mli so the public surface is \
+             explicit and warnings stay meaningful";
+      hint = "add a matching .mli next to the .ml";
+      check = missing_mli };
+    { id = "nontail-append";
+      severity = Warning;
+      doc =
+        "@ / List.append are O(n) per use and not tail-recursive; the \
+         batch-GCD trees and world stepping are hot paths";
+      hint = "accumulate with List.rev_append or a Buffer";
+      check = nontail_append };
+    { id = "todo-issue-tag";
+      severity = Warning;
+      doc = "untracked TODO/FIXME comments rot; tie them to an issue";
+      hint = "write TODO(#<issue>) or delete the comment";
+      check = todo_issue_tag };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

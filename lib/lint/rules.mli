@@ -1,0 +1,32 @@
+(** The weakkeys-lint rule set.
+
+    Each rule is a purely lexical check over one compilation unit. See
+    LINTING.md at the repository root for the full catalogue with
+    rationale and examples. *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type finding = { line : int; message : string }
+
+type ctx = {
+  path : string;  (** Repo-relative path, ['/']-separated, no leading [./]. *)
+  mli_exists : bool option;
+      (** Whether a sibling [.mli] exists; [None] when unknown (e.g.
+          linting an in-memory snippet without a filesystem). *)
+  tokens : Lexer.token list;
+}
+
+type t = {
+  id : string;
+  severity : severity;
+  doc : string;  (** One-line rationale, shown by [--list-rules]. *)
+  hint : string;  (** How to fix or legitimately suppress. *)
+  check : ctx -> finding list;
+}
+
+val all : t list
+(** Every rule, in catalogue order (rule ids are stable). *)
+
+val find : string -> t option

@@ -221,6 +221,7 @@ let make_cert cfg ~ca ~ca_dn (m : Device_model.t) ~dev_path ~epoch_idx ~date key
 let debug_devices = Sys.getenv_opt "WEAKKEYS_DEBUG_DEVICES" <> None
 
 let materialize cfg ~ca ~ca_dn (p : proto) =
+  (* lint: allow lib-stdout — env-gated stderr trace, off by default *)
   if debug_devices then Printf.eprintf "dev %s\n%!" p.p_id;
   let m = p.p_model in
   let weak_unit =

@@ -175,6 +175,7 @@ let test_parallel_map_order () =
 let test_parallel_map_exception () =
   Alcotest.(check bool) "exception propagates" true
     (try
+       (* lint: allow failwith-outside-exn — the worker must raise *)
        ignore (Par.map ~domains:3 (fun i -> if i = 5 then failwith "boom" else i)
            (Array.init 10 (fun i -> i)));
        false

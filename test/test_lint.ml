@@ -1,0 +1,197 @@
+(* Tests for the weakkeys-lint engine: one flagged and one clean
+   fixture per rule, plus suppression-comment handling and the
+   string/comment false-positive cases the lexer must survive. The
+   fixtures live in OCaml string literals, which also demonstrates why
+   the linter itself can safely scan this file. *)
+
+module E = Lint.Engine
+module R = Lint.Rules
+
+let rules_of ?(path = "lib/netsim/world.ml") ?mli_exists src =
+  List.map (fun (f : E.finding) -> f.E.rule) (E.lint_source ~path ?mli_exists src)
+
+let flags rule ?path ?mli_exists src = List.mem rule (rules_of ?path ?mli_exists src)
+
+let check_flagged name rule ?path ?mli_exists src =
+  Alcotest.(check bool) name true (flags rule ?path ?mli_exists src)
+
+let check_clean name rule ?path ?mli_exists src =
+  Alcotest.(check bool) name false (flags rule ?path ?mli_exists src)
+
+(* ------------------------------------------------------------------ *)
+(* Catalogue sanity                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_catalogue () =
+  Alcotest.(check int) "ten rules" 10 (List.length R.all);
+  Alcotest.(check int) "ids unique"
+    (List.length R.all)
+    (List.length (List.sort_uniq String.compare
+                    (List.map (fun (r : R.t) -> r.R.id) R.all)));
+  Alcotest.(check bool) "find known" true (R.find "det-random" <> None);
+  Alcotest.(check bool) "find unknown" true (R.find "no-such-rule" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Rule fixtures                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_det_random () =
+  check_flagged "ambient RNG" "det-random" "let x = Random.int 5";
+  check_flagged "self_init" "det-random" "let () = Random.self_init ()";
+  check_flagged "Stdlib-qualified" "det-random" "let x = Stdlib.Random.bits ()";
+  check_flagged "self-seeding state" "det-random"
+    "let st = Random.State.make_self_init ()";
+  check_clean "det.ml is exempt" "det-random" ~path:"lib/netsim/det.ml"
+    "let x = Random.int 5";
+  check_clean "seeded explicit state" "det-random"
+    "let st = Random.State.make [| seed |] in Random.State.int st 256";
+  check_clean "own module named random" "det-random"
+    "let x = My_random.int 5"
+
+let test_phys_equal () =
+  check_flagged "==" "phys-equal" "let f a b = a == b";
+  check_flagged "!=" "phys-equal" "let f a b = a != b";
+  check_clean "structural =" "phys-equal" "let f a b = a = b && a <> b";
+  check_clean "deref then compare" "phys-equal" "let f r s = !r = !s";
+  check_clean "inside string" "phys-equal" {|let s = "p != 1 mod e"|};
+  check_clean "inside comment" "phys-equal" "(* a == b *) let x = 1"
+
+let test_poly_compare () =
+  let path = "lib/bignum/prime.ml" in
+  check_flagged "bare compare" "poly-compare" ~path "let f a b = compare a b";
+  check_flagged "Stdlib.compare" "poly-compare" ~path
+    "let f a b = Stdlib.compare a b";
+  check_clean "module-specific" "poly-compare" ~path "let f a b = Nat.compare a b";
+  check_clean "locally defined compare" "poly-compare" ~path
+    "let compare a b = go a b\nlet max a b = if compare a b >= 0 then a else b";
+  check_clean "out of scope" "poly-compare" ~path:"lib/analysis/dataset.ml"
+    "let f a b = compare a b"
+
+let test_catchall_exn () =
+  check_flagged "swallows all" "catchall-exn" "let f () = try g () with _ -> 0";
+  check_flagged "leading bar" "catchall-exn"
+    "let f () = try g () with | _ -> 0";
+  check_clean "specific exception" "catchall-exn"
+    "let f () = try g () with Not_found -> 0";
+  check_clean "named binder" "catchall-exn"
+    "let f () = try g () with _e -> log _e; raise _e";
+  check_clean "match wildcard is fine" "catchall-exn"
+    "let f x = match x with _ -> 0";
+  check_clean "record update with" "catchall-exn"
+    "let f r = { r with field = 1 }";
+  check_flagged "try inside match" "catchall-exn"
+    "let f x = match try g x with _ -> None with Some y -> y | None -> 0"
+
+let test_lib_stdout () =
+  let path = "lib/core/pipeline.ml" in
+  check_flagged "printf" "lib-stdout" ~path {|let () = Printf.printf "x"|};
+  check_flagged "print_endline" "lib-stdout" ~path {|let () = print_endline "x"|};
+  check_clean "sprintf is pure" "lib-stdout" ~path {|let s = Printf.sprintf "x"|};
+  check_clean "formatter pp is fine" "lib-stdout" ~path
+    "let pp fmt t = Format.pp_print_string fmt t";
+  check_clean "binaries may print" "lib-stdout" ~path:"bin/weakkeys_cli.ml"
+    {|let () = Printf.printf "x"|}
+
+let test_failwith_outside_exn () =
+  check_flagged "plain function" "failwith-outside-exn"
+    {|let parse x = failwith "bad"|};
+  check_clean "_exn function" "failwith-outside-exn"
+    {|let parse_exn x = failwith "bad"|};
+  check_clean "helper inside _exn" "failwith-outside-exn"
+    "let parse_exn x =\n  let go y = failwith \"bad\" in\n  go x"
+
+let test_toplevel_ref () =
+  check_flagged "top-level ref" "toplevel-ref" "let counter = ref 0";
+  check_clean "local ref" "toplevel-ref" "let f () =\n  let c = ref 0 in\n  !c";
+  check_clean "tests may use refs" "toplevel-ref" ~path:"test/test_x.ml"
+    "let counter = ref 0"
+
+let test_missing_mli () =
+  check_flagged "no interface" "missing-mli" ~path:"lib/rsa/keypair.ml"
+    ~mli_exists:false "let x = 1";
+  check_clean "interface present" "missing-mli" ~path:"lib/rsa/keypair.ml"
+    ~mli_exists:true "let x = 1";
+  check_clean "tests need no mli" "missing-mli" ~path:"test/test_x.ml"
+    ~mli_exists:false "let x = 1";
+  check_clean "unknown on snippets" "missing-mli" ~path:"lib/rsa/keypair.ml"
+    "let x = 1"
+
+let test_nontail_append () =
+  let path = "lib/batchgcd/product_tree.ml" in
+  check_flagged "@ operator" "nontail-append" ~path "let f a b = a @ b";
+  check_flagged "List.append" "nontail-append" ~path "let f a b = List.append a b";
+  check_flagged "world.ml is hot" "nontail-append" ~path:"lib/netsim/world.ml"
+    "let f a b = a @ b";
+  check_clean "@@ is not @" "nontail-append" ~path "let f x = g @@ x";
+  check_clean "attribute bracket" "nontail-append" ~path
+    {|let f x = (x [@warning "-8"])|};
+  check_clean "cold modules may append" "nontail-append"
+    ~path:"lib/analysis/dataset.ml" "let f a b = a @ b"
+
+let test_todo_issue_tag () =
+  check_flagged "untagged TODO" "todo-issue-tag" "(* TODO: fix *) let x = 1";
+  check_flagged "untagged FIXME" "todo-issue-tag" "(* FIXME broken *) let x = 1";
+  check_clean "tagged TODO" "todo-issue-tag" "(* TODO(#42): fix *) let x = 1";
+  check_clean "TODO in string" "todo-issue-tag" {|let s = "TODO later"|};
+  check_clean "lowercase identifier" "todo-issue-tag" "let todo = 1"
+
+(* ------------------------------------------------------------------ *)
+(* Suppressions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppressions () =
+  check_clean "trailing same line" "det-random"
+    "let x = Random.int 5 (* lint: allow det-random *)";
+  check_clean "line above" "det-random"
+    "(* lint: allow det-random *)\nlet x = Random.int 5";
+  check_flagged "wrong rule id" "det-random"
+    "(* lint: allow phys-equal *)\nlet x = Random.int 5";
+  check_flagged "too far above" "det-random"
+    "(* lint: allow det-random *)\nlet y = 1\nlet x = Random.int 5";
+  check_clean "several ids, first" "det-random"
+    "(* lint: allow det-random, phys-equal *)\nlet x = Random.int 5 == y";
+  check_clean "several ids, second" "phys-equal"
+    "(* lint: allow det-random, phys-equal *)\nlet x = Random.int 5 == y";
+  check_clean "justification prose" "toplevel-ref"
+    "let c = ref 0 (* lint: allow toplevel-ref for a tuning knob *)"
+
+(* ------------------------------------------------------------------ *)
+(* Positions and output formats                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_positions_and_output () =
+  let src = "(* multi\n   line\n   comment *)\nlet f a b = a == b\n" in
+  (match E.lint_source ~path:"lib/x/y.ml" src with
+  | [ f ] ->
+    Alcotest.(check int) "line past multi-line comment" 4 f.E.line;
+    Alcotest.(check string) "rule id" "phys-equal" f.E.rule
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs));
+  let fs = E.lint_source ~path:"lib/x/y.ml" "let a = Random.int 5" in
+  let json = E.to_json fs in
+  Alcotest.(check bool) "json names rule" true
+    (let sub = {|"rule": "det-random"|} in
+     let rec search i =
+       i + String.length sub <= String.length json
+       && (String.sub json i (String.length sub) = sub || search (i + 1))
+     in
+     search 0);
+  Alcotest.(check bool) "text has summary" true
+    (String.length (E.to_text fs) > 0);
+  Alcotest.(check string) "clean json is empty array" "[\n]" (E.to_json [])
+
+let tests =
+  [
+    Alcotest.test_case "catalogue" `Quick test_catalogue;
+    Alcotest.test_case "det-random" `Quick test_det_random;
+    Alcotest.test_case "phys-equal" `Quick test_phys_equal;
+    Alcotest.test_case "poly-compare" `Quick test_poly_compare;
+    Alcotest.test_case "catchall-exn" `Quick test_catchall_exn;
+    Alcotest.test_case "lib-stdout" `Quick test_lib_stdout;
+    Alcotest.test_case "failwith-outside-exn" `Quick test_failwith_outside_exn;
+    Alcotest.test_case "toplevel-ref" `Quick test_toplevel_ref;
+    Alcotest.test_case "missing-mli" `Quick test_missing_mli;
+    Alcotest.test_case "nontail-append" `Quick test_nontail_append;
+    Alcotest.test_case "todo-issue-tag" `Quick test_todo_issue_tag;
+    Alcotest.test_case "suppressions" `Quick test_suppressions;
+    Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
+  ]

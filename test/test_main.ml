@@ -15,4 +15,5 @@ let () =
       ("analysis", Test_analysis.tests);
       ("pipeline", Test_pipeline.tests);
       ("export", Test_export.tests);
+      ("lint", Test_lint.tests);
     ]
