@@ -13,8 +13,14 @@
       the full pipeline on the simulated internet and printing the
       same rows/series the paper reports.
 
+   The timing half also emits a machine-readable BENCH_batchgcd.json
+   (per-kernel ns plus the sequential-vs-parallel tree speedups) so
+   the perf trajectory of the batch-GCD kernels is tracked PR over PR.
+
    Environment knobs:
      WEAKKEYS_BENCH_SCALE   world scale for part 2 (default 0.15)
+     WEAKKEYS_BENCH_JSON    output path (default BENCH_batchgcd.json)
+     WEAKKEYS_DOMAINS       parallel pool width (see Parallel.Pool)
      WEAKKEYS_BENCH_SKIP_TIMING / WEAKKEYS_BENCH_SKIP_REPORT *)
 
 module N = Bignum.Nat
@@ -144,6 +150,32 @@ let keygen_styles =
           Rsa.Keypair.generate ~style:Rsa.Keypair.Plain ~gen ~bits:256 ());
     ]
 
+(* Sequential vs level-parallel tree kernels on one pool each; the
+   pools persist across iterations so per-call Domain.spawn cost is
+   out of the measurement (that is the point of Parallel.Pool). *)
+let pool_seq = lazy (Parallel.Pool.get ~domains:1 ())
+let pool_par = lazy (Parallel.Pool.get ())
+
+let tree_parallel =
+  let seq f = fun () -> f ~pool:(Lazy.force pool_seq) () in
+  let par f = fun () -> f ~pool:(Lazy.force pool_par) () in
+  let build ~pool () = Batchgcd.Product_tree.build ~pool (Lazy.force moduli_2048) in
+  let tree = lazy (build ~pool:(Lazy.force pool_seq) ()) in
+  let descend ~pool () =
+    Batchgcd.Remainder_tree.remainders_mod_square ~pool (Lazy.force tree)
+      (Batchgcd.Product_tree.root (Lazy.force tree))
+  in
+  let batch ~pool () = Batchgcd.Batch_gcd.factor_batch ~pool (Lazy.force moduli_2048) in
+  Test.make_grouped ~name:"tree-parallel"
+    [
+      t "product-tree-2048-seq" (seq build);
+      t "product-tree-2048-par" (par build);
+      t "remainder-tree-2048-seq" (seq descend);
+      t "remainder-tree-2048-par" (par descend);
+      t "factor-batch-2048-seq" (seq batch);
+      t "factor-batch-2048-par" (par batch);
+    ]
+
 let substrate =
   let tree = lazy (Batchgcd.Product_tree.build (Lazy.force moduli_2048)) in
   let pow_base = lazy (nat_of_bits 255)
@@ -185,27 +217,33 @@ let run_timing () =
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let tests =
     [
-      batchgcd_section_3_2; figure2_k_sweep; ablation_multiplication;
-      ablation_division; ablation_powmod; ablation_gcd; keygen_styles;
-      substrate;
+      batchgcd_section_3_2; figure2_k_sweep; tree_parallel;
+      ablation_multiplication; ablation_division; ablation_powmod;
+      ablation_gcd; keygen_styles; substrate;
     ]
   in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0
       ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
       let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+      let rows =
+        List.map
+          (fun (name, result) ->
+            let ns =
+              match Analyze.OLS.estimates result with
+              | Some (e :: _) -> e
+              | _ -> Float.nan
+            in
+            (name, ns))
+          (List.sort compare rows)
+      in
       List.iter
-        (fun (name, result) ->
-          let ns =
-            match Analyze.OLS.estimates result with
-            | Some (e :: _) -> e
-            | _ -> Float.nan
-          in
+        (fun (name, ns) ->
           let pretty =
             if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
             else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
@@ -213,8 +251,60 @@ let run_timing () =
             else Printf.sprintf "%8.0f ns" ns
           in
           Printf.printf "  %-42s %s/run\n%!" name pretty)
-        (List.sort compare rows))
+        rows;
+      rows)
     tests
+
+(* ---------------- BENCH_batchgcd.json ---------------- *)
+
+(* Machine-readable perf record: every timed kernel, the
+   sequential-vs-parallel speedups of the tree group, and a
+   findings_equal cross-check between the two factor_batch runs. *)
+let emit_json rows =
+  let find name = List.assoc_opt name rows in
+  let speedup kernel =
+    match
+      ( find (Printf.sprintf "tree-parallel/%s-2048-seq" kernel),
+        find (Printf.sprintf "tree-parallel/%s-2048-par" kernel) )
+    with
+    | Some s, Some p when p > 0. -> Some (kernel, s /. p)
+    | _ -> None
+  in
+  let findings_ok =
+    Batchgcd.Batch_gcd.findings_equal
+      (Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_seq)
+         (Lazy.force moduli_2048))
+      (Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_par)
+         (Lazy.force moduli_2048))
+  in
+  let path =
+    Option.value ~default:"BENCH_batchgcd.json"
+      (Sys.getenv_opt "WEAKKEYS_BENCH_JSON")
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
+      Printf.fprintf oc "{\n  \"schema\": \"weakkeys-bench/1\",\n";
+      Printf.fprintf oc "  \"domains\": %d,\n"
+        (Parallel.Pool.size (Lazy.force pool_par));
+      Printf.fprintf oc "  \"corpus\": { \"moduli\": 2048, \"bits\": 96 },\n";
+      Printf.fprintf oc "  \"findings_equal\": %b,\n" findings_ok;
+      Printf.fprintf oc "  \"speedup\": {%s},\n"
+        (String.concat ", "
+           (List.filter_map
+              (fun k ->
+                Option.map
+                  (fun (k, x) -> Printf.sprintf "\"%s\": %.2f" k x)
+                  (speedup k))
+              [ "product-tree"; "remainder-tree"; "factor-batch" ]));
+      Printf.fprintf oc "  \"kernels_ns\": {\n%s\n  }\n}\n"
+        (String.concat ",\n"
+           (List.map
+              (fun (name, ns) -> Printf.sprintf "    \"%s\": %s" name (num ns))
+              rows)));
+  Printf.printf "wrote %s\n%!" path
 
 let run_report () =
   let scale =
@@ -238,6 +328,6 @@ let run_report () =
 let () =
   if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_TIMING" = None then begin
     print_endline "===== timing benches (bechamel, ns per run) =====";
-    run_timing ()
+    emit_json (run_timing ())
   end;
   if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_REPORT" = None then run_report ()

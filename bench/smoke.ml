@@ -1,0 +1,82 @@
+(* Kernel smoke bench: a tiny-corpus timing pass over the batch-GCD
+   tree kernels, fast enough to run on every `dune runtest` (via the
+   @bench-smoke alias) — a gross kernel regression or a parallel vs
+   sequential divergence breaks the build instead of waiting for the
+   nightly Bechamel run.
+
+   Exit codes: 0 ok, 2 on any correctness mismatch. Timings are
+   printed for humans; they are not asserted against (CI machines are
+   too noisy for that — the full bench tracks the trajectory in
+   BENCH_batchgcd.json). *)
+
+module N = Bignum.Nat
+module BG = Batchgcd.Batch_gcd
+module PT = Batchgcd.Product_tree
+module RT = Batchgcd.Remainder_tree
+module Pool = Parallel.Pool
+
+let drbg = Hashes.Drbg.create ~seed:"bench-smoke" ()
+let gen = Hashes.Drbg.gen_fn drbg
+
+let corpus ~n ~planted =
+  let shared = Bignum.Prime.generate ~gen ~bits:48 in
+  Array.init n (fun i ->
+      if planted > 0 && i mod (Stdlib.max 1 (n / planted)) = 0 then
+        N.mul shared (Bignum.Prime.generate ~gen ~bits:48)
+      else
+        N.mul
+          (Bignum.Prime.generate ~gen ~bits:48)
+          (Bignum.Prime.generate ~gen ~bits:48))
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let failures = ref 0
+
+let check name ok =
+  if not ok then begin
+    incr failures;
+    Printf.eprintf "bench-smoke: FAIL %s\n%!" name
+  end
+
+let () =
+  let moduli = corpus ~n:96 ~planted:8 in
+  let seq = Pool.get ~domains:1 () in
+  let par = Pool.get () in
+  let row name secs = Printf.printf "  %-32s %8.1f ms\n%!" name (secs *. 1e3) in
+  Printf.printf "bench-smoke: 96 moduli x 96 bits, %d domain(s)\n%!"
+    (Pool.size par);
+
+  let tree_s, dt = timed (fun () -> PT.build ~pool:seq moduli) in
+  row "product-tree-seq" dt;
+  let tree_p, dt = timed (fun () -> PT.build ~pool:par moduli) in
+  row "product-tree-par" dt;
+  check "parallel tree root equals sequential"
+    (N.equal (PT.root tree_s) (PT.root tree_p));
+  check "total_limbs agrees" (PT.total_limbs tree_s = PT.total_limbs tree_p);
+
+  let root = PT.root tree_s in
+  let rem_s, dt = timed (fun () -> RT.remainders_mod_square ~pool:seq tree_s root) in
+  row "remainder-tree-seq" dt;
+  let rem_p, dt = timed (fun () -> RT.remainders_mod_square ~pool:par tree_s root) in
+  row "remainder-tree-par" dt;
+  check "parallel descent equals sequential"
+    (Array.for_all2 N.equal rem_s rem_p);
+
+  let fb_s, dt = timed (fun () -> BG.factor_batch ~pool:seq moduli) in
+  row "factor-batch-seq" dt;
+  let fb_p, dt = timed (fun () -> BG.factor_batch ~pool:par moduli) in
+  row "factor-batch-par" dt;
+  let fs_p, dt = timed (fun () -> BG.factor_subsets ~pool:par ~k:8 moduli) in
+  row "factor-subsets-k8-par" dt;
+  check "factor_batch parallel = sequential" (BG.findings_equal fb_s fb_p);
+  check "factor_subsets = factor_batch" (BG.findings_equal fb_s fs_p);
+  check "planted factors recovered" (List.length fb_s >= 8);
+
+  if !failures > 0 then begin
+    Printf.eprintf "bench-smoke: %d check(s) failed\n%!" !failures;
+    exit 2
+  end;
+  print_endline "bench-smoke: all kernel checks passed"

@@ -1,6 +1,10 @@
 module N = Bignum.Nat
+module Pool = Parallel.Pool
 
 type finding = { index : int; modulus : N.t; divisor : N.t }
+
+let resolve_pool pool domains =
+  match pool with Some p -> p | None -> Pool.get ?domains ()
 
 let dedup moduli =
   let seen = Hashtbl.create (Array.length moduli) in
@@ -59,13 +63,14 @@ let own_subset_component m z =
   assert (N.is_zero r);
   y
 
-let factor_batch moduli =
+let factor_batch ?pool ?domains moduli =
   let n = Array.length moduli in
   if n = 0 then []
   else begin
-    let tree = Product_tree.build moduli in
+    let pool = resolve_pool pool domains in
+    let tree = Product_tree.build ~pool moduli in
     let p = Product_tree.root tree in
-    let zs = Remainder_tree.remainders_mod_square tree p in
+    let zs = Remainder_tree.remainders_mod_square ~pool tree p in
     let divisors =
       Array.init n (fun i ->
           N.gcd moduli.(i) (own_subset_component moduli.(i) zs.(i)))
@@ -73,18 +78,23 @@ let factor_batch moduli =
     collect divisors moduli
   end
 
-let factor_subsets ?domains ~k moduli =
+let factor_subsets ?pool ?domains ~k moduli =
   let n = Array.length moduli in
   if n = 0 then []
   else begin
+    let pool = resolve_pool pool domains in
     let k = Stdlib.max 1 (Stdlib.min k n) in
     (* Contiguous split; subset s covers [starts.(s), starts.(s+1)). *)
     let starts =
       Array.init (k + 1) (fun s -> s * n / k)
     in
     let subset s = Array.sub moduli starts.(s) (starts.(s + 1) - starts.(s)) in
+    (* Outer parallelism is across subsets; the per-job tree kernels
+       also receive the pool, so whichever level has spare domains
+       (k = 1, or a single huge subset) still scales. Nested calls
+       from inside pool workers degrade to serial automatically. *)
     let trees =
-      Parallel.map ?domains (fun s -> Product_tree.build (subset s))
+      Pool.map ~pool (fun s -> Product_tree.build ~pool (subset s))
         (Array.init k (fun s -> s))
     in
     let products = Array.map Product_tree.root trees in
@@ -99,12 +109,12 @@ let factor_subsets ?domains ~k moduli =
         if i = j then
           Array.mapi
             (fun l z -> own_subset_component (Product_tree.leaves tree).(l) z)
-            (Remainder_tree.remainders_mod_square tree products.(j))
-        else Remainder_tree.remainders tree products.(j)
+            (Remainder_tree.remainders_mod_square ~pool tree products.(j))
+        else Remainder_tree.remainders ~pool tree products.(j)
       in
       (i, contributions)
     in
-    let pieces = Parallel.map ?domains job jobs in
+    let pieces = Pool.map ~pool job jobs in
     (* Merge: for global index g in subset i, the divisor is
        gcd(m, prod over j of contribution_ij mod m) — identical to the
        single-tree accumulation. *)

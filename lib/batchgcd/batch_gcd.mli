@@ -34,14 +34,18 @@ val naive_pairwise_hits : Bignum.Nat.t array -> (int * int * Bignum.Nat.t) list
     GCDs; useful for tests and for post-processing small flagged
     sets. *)
 
-val factor_batch : Bignum.Nat.t array -> finding list
-(** Single product tree + remainder tree. *)
+val factor_batch :
+  ?pool:Parallel.Pool.t -> ?domains:int -> Bignum.Nat.t array -> finding list
+(** Single product tree + remainder tree, with level-parallel kernels
+    run on [pool] ([domains] sizes a memoized pool when no explicit
+    pool is given; default {!Parallel.Pool.default_domains}). *)
 
 val factor_subsets :
+  ?pool:Parallel.Pool.t ->
   ?domains:int -> k:int -> Bignum.Nat.t array -> finding list
 (** The distributed variant: split the input into [k] subsets, build a
     product per subset, and reduce every product through every
-    subset's tree ([k^2] jobs, run on a domain pool). [k] is clamped
+    subset's tree ([k^2] jobs, run on the domain pool). [k] is clamped
     to the input size. Results are identical to {!factor_batch}. *)
 
 val findings_equal : finding list -> finding list -> bool

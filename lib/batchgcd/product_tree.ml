@@ -1,8 +1,19 @@
 module N = Bignum.Nat
+module Pool = Parallel.Pool
 
 type t = { levels : N.t array array }
 
-let build inputs =
+(* Level-parallel cutoffs: a level fans out onto the pool only when it
+   has enough independent nodes to share and each node is wide enough
+   that the multiply dwarfs the dispatch cost. Near the root both
+   conditions fail (one giant N.mul) and the build stays serial. *)
+let min_par_nodes = 4
+let min_par_limbs = 4
+
+let level_parallel ~nodes ~width =
+  nodes >= min_par_nodes && width >= min_par_limbs
+
+let build ?pool inputs =
   if Array.length inputs = 0 then invalid_arg "Product_tree.build: empty";
   Array.iter
     (fun x -> if N.is_zero x then invalid_arg "Product_tree.build: zero input")
@@ -11,10 +22,15 @@ let build inputs =
     let n = Array.length level in
     if n = 1 then List.rev (level :: acc)
     else begin
+      let pairs = (n + 1) / 2 in
+      let node i =
+        if (2 * i) + 1 < n then N.mul level.(2 * i) level.((2 * i) + 1)
+        else level.(2 * i)
+      in
       let next =
-        Array.init ((n + 1) / 2) (fun i ->
-            if (2 * i) + 1 < n then N.mul level.(2 * i) level.((2 * i) + 1)
-            else level.(2 * i))
+        if level_parallel ~nodes:pairs ~width:(N.size_limbs level.(0)) then
+          Pool.init ?pool pairs node
+        else Array.init pairs node
       in
       up (level :: acc) next
     end
@@ -32,5 +48,5 @@ let level t k =
 let total_limbs t =
   Array.fold_left
     (fun acc lvl ->
-      Array.fold_left (fun acc n -> acc + ((N.num_bits n + 30) / 31)) acc lvl)
+      Array.fold_left (fun acc n -> acc + N.size_limbs n) acc lvl)
     0 t.levels

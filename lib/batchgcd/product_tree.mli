@@ -4,8 +4,13 @@
 
 type t
 
-val build : Bignum.Nat.t array -> t
-(** @raise Invalid_argument on an empty input or a zero modulus. *)
+val build : ?pool:Parallel.Pool.t -> Bignum.Nat.t array -> t
+(** Builds bottom-up, one level at a time. Nodes within a level are
+    independent and are computed on [pool] (default: the process-wide
+    {!Parallel.Pool.get} pool) once a level has at least 4 nodes of at
+    least 4 limbs; smaller levels — in particular the top of the tree,
+    where a single giant multiply dominates — stay serial.
+    @raise Invalid_argument on an empty input or a zero modulus. *)
 
 val leaves : t -> Bignum.Nat.t array
 (** The inputs, in order (not a copy). *)
@@ -21,5 +26,13 @@ val level : t -> int -> Bignum.Nat.t array
     @raise Invalid_argument when out of range. *)
 
 val total_limbs : t -> int
-(** Sum of limb counts over every node — the paper's product trees
-    needed 70-100 GB per cluster node; this is our proxy metric. *)
+(** Sum of [Nat.size_limbs] over every node — the paper's product
+    trees needed 70-100 GB per cluster node; this is our proxy
+    metric. *)
+
+(**/**)
+
+val level_parallel : nodes:int -> width:int -> bool
+(** Whether a level of [nodes] nodes of [width] limbs is worth fanning
+    out — shared with {!Remainder_tree} so both kernels use one
+    cutoff policy. Exposed for tests and the bench harness. *)

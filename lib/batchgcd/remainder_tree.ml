@@ -1,19 +1,29 @@
 module N = Bignum.Nat
+module Pool = Parallel.Pool
 
 (* Shared descent: [reduce node r] reduces the parent remainder at a
    node. Children index i draws from parent i/2, matching how
-   Product_tree pairs nodes upward. *)
-let descend tree ~reduce v =
+   Product_tree pairs nodes upward. Nodes within a level only read the
+   (immutable) level above, so each level reduces in parallel on the
+   pool, subject to the same serial cutoff as the product tree. *)
+let descend ?pool tree ~reduce v =
   let d = Product_tree.depth tree in
   let top = Product_tree.level tree (d - 1) in
   let rs = ref [| reduce top.(0) v |] in
   for k = d - 2 downto 0 do
     let lvl = Product_tree.level tree k in
-    rs := Array.init (Array.length lvl) (fun i -> reduce lvl.(i) !rs.(i / 2))
+    let parent = !rs in
+    let n = Array.length lvl in
+    let node i = reduce lvl.(i) parent.(i / 2) in
+    rs :=
+      if Product_tree.level_parallel ~nodes:n ~width:(N.size_limbs lvl.(0))
+      then Pool.init ?pool n node
+      else Array.init n node
   done;
   !rs
 
-let remainders_mod_square tree v =
-  descend tree ~reduce:(fun node r -> N.rem r (N.sqr node)) v
+let remainders_mod_square ?pool tree v =
+  descend ?pool tree ~reduce:(fun node r -> N.rem r (N.sqr node)) v
 
-let remainders tree v = descend tree ~reduce:(fun node r -> N.rem r node) v
+let remainders ?pool tree v =
+  descend ?pool tree ~reduce:(fun node r -> N.rem r node) v

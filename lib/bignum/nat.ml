@@ -97,6 +97,8 @@ let num_bits (a : t) =
   let n = Array.length a in
   if n = 0 then 0 else ((n - 1) * limb_bits) + bits_of_limb a.(n - 1)
 
+let size_limbs (a : t) = Array.length a
+
 let testbit (a : t) i =
   if i < 0 then invalid_arg "Nat.testbit: negative index"
   else
@@ -237,6 +239,25 @@ let shift_limbs (a : t) k =
     Array.blit a 0 r k la;
     r
 
+(* r <- r + x * base^off, in place. The caller guarantees the final
+   accumulated value fits in r, so the trailing carry cannot run off
+   the end of the buffer. *)
+let add_into (r : int array) (x : t) off =
+  let lx = Array.length x in
+  let carry = ref 0 in
+  for i = 0 to lx - 1 do
+    let t = r.(off + i) + x.(i) + !carry in
+    r.(off + i) <- t land mask;
+    carry := t lsr limb_bits
+  done;
+  let i = ref (off + lx) in
+  while !carry <> 0 do
+    let t = r.(!i) + !carry in
+    r.(!i) <- t land mask;
+    carry := t lsr limb_bits;
+    incr i
+  done
+
 let rec mul (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
@@ -244,16 +265,77 @@ let rec mul (a : t) (b : t) : t =
   else begin
     (* Karatsuba: split both operands at half the longer length. The
        middle product uses (a0+a1)(b0+b1) - z0 - z2, which never goes
-       negative over the naturals. *)
+       negative over the naturals. The three partial products are
+       accumulated into a single result buffer; each partial sum is at
+       most a*b, so no carry escapes the la+lb limbs. *)
     let k = (Stdlib.max la lb + 1) / 2 in
     let a0, a1 = split_at a k and b0, b1 = split_at b k in
     let z0 = mul a0 b0 in
     let z2 = mul a1 b1 in
     let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
-    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+    let r = Array.make (la + lb) 0 in
+    add_into r z0 0;
+    add_into r z1 k;
+    add_into r z2 (2 * k);
+    norm r
   end
 
-let sqr a = mul a a
+(* Schoolbook squaring: accumulate each cross product a_i*a_j (j > i)
+   once, double the whole accumulator with a one-bit shift, then add
+   the diagonal a_i^2 terms. Doubling the limb products directly would
+   overflow the native int (2*mask^2 > 2^62), hence the separate
+   doubling pass over sub-base limbs. Saves close to half the inner
+   multiplies of mul_school. *)
+let sqr_school (a : t) : t =
+  let la = Array.length a in
+  let r = Array.make (2 * la) 0 in
+  for i = 0 to la - 1 do
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = i + 1 to la - 1 do
+        let t = r.(i + j) + (ai * a.(j)) + !carry in
+        r.(i + j) <- t land mask;
+        carry := t lsr limb_bits
+      done;
+      r.(i + la) <- !carry
+    end
+  done;
+  let carry = ref 0 in
+  for i = 0 to (2 * la) - 1 do
+    let t = (r.(i) lsl 1) lor !carry in
+    r.(i) <- t land mask;
+    carry := t lsr limb_bits
+  done;
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let t0 = r.(2 * i) + (a.(i) * a.(i)) + !carry in
+    r.(2 * i) <- t0 land mask;
+    let t1 = r.((2 * i) + 1) + (t0 lsr limb_bits) in
+    r.((2 * i) + 1) <- t1 land mask;
+    carry := t1 lsr limb_bits
+  done;
+  norm r
+
+let rec sqr (a : t) : t =
+  let la = Array.length a in
+  if la = 0 then zero
+  else if la < !karatsuba_threshold then sqr_school a
+  else begin
+    (* Karatsuba squaring: the middle term 2*a0*a1 is recovered as
+       (a0+a1)^2 - a0^2 - a1^2, so all three recursive products are
+       themselves squarings. *)
+    let k = (la + 1) / 2 in
+    let a0, a1 = split_at a k in
+    let z0 = sqr a0 in
+    let z2 = sqr a1 in
+    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
+    let r = Array.make (2 * la) 0 in
+    add_into r z0 0;
+    add_into r z1 k;
+    add_into r z2 (2 * k);
+    norm r
+  end
 
 let mul_int (a : t) k =
   if k < 0 then invalid_arg "Nat.mul_int: negative"
@@ -298,20 +380,35 @@ let divmod_int (a : t) d =
 let mod_int a d = snd (divmod_int a d)
 
 (* Knuth Algorithm D (TAOCP 4.3.1). Requires len b >= 2; the caller
-   handles single-limb divisors. *)
-let divmod_knuth (a : t) (b : t) : t * t =
+   handles single-limb divisors. When [want_q] is false the quotient
+   array is neither allocated nor written, so the remainder-only hot
+   path of the remainder-tree descent skips materialising quotients
+   entirely. *)
+let knuth_core ~want_q (a : t) (b : t) : t option * t =
   let n = Array.length b in
   (* Normalize so the divisor's top limb has its high bit set. *)
   let s = limb_bits - bits_of_limb b.(n - 1) in
   let v = shift_left b s in
-  let u0 = shift_left a s in
-  let m = Array.length u0 - n in
-  if m < 0 then (zero, a)
+  let la = Array.length a in
+  (* Limb length of [a lsl s], without materialising it. *)
+  let lu = if la = 0 then 0 else (num_bits a + s + limb_bits - 1) / limb_bits in
+  let m = lu - n in
+  if m < 0 then ((if want_q then Some zero else None), a)
   else begin
-    (* Working copy of the dividend with one extra high limb. *)
-    let u = Array.make (Array.length u0 + 1) 0 in
-    Array.blit u0 0 u 0 (Array.length u0);
-    let q = Array.make (m + 1) 0 in
+    (* Shift the dividend straight into the working buffer (with one
+       extra high limb), instead of shift_left followed by a copy. *)
+    let u = Array.make (lu + 1) 0 in
+    if s = 0 then Array.blit a 0 u 0 la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let x = (a.(i) lsl s) lor !carry in
+        u.(i) <- x land mask;
+        carry := x lsr limb_bits
+      done;
+      u.(la) <- !carry
+    end;
+    let q = if want_q then Array.make (m + 1) 0 else [||] in
     let vtop = v.(n - 1) and vsnd = v.(n - 2) in
     for j = m downto 0 do
       let num = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
@@ -358,11 +455,18 @@ let divmod_knuth (a : t) (b : t) : t * t =
         u.(j + n) <- (u.(j + n) + !c) land mask
       end
       else u.(j + n) <- d;
-      q.(j) <- !qhat
+      if want_q then q.(j) <- !qhat
     done;
     let r = norm (Array.sub u 0 n) in
-    (norm q, shift_right r s)
+    ((if want_q then Some (norm q) else None), shift_right r s)
   end
+
+let divmod_knuth (a : t) (b : t) : t * t =
+  match knuth_core ~want_q:true a b with
+  | Some q, r -> (q, r)
+  | None, _ -> assert false
+
+let rem_knuth (a : t) (b : t) : t = snd (knuth_core ~want_q:false a b)
 
 (* Burnikel-Ziegler style recursive division, after Modern Computer
    Arithmetic, Algorithm 1.8 (RecursiveDivRem). [recursive_divrem a b]
@@ -436,7 +540,17 @@ let divmod (a : t) (b : t) : t * t =
   end
 
 let div a b = fst (divmod a b)
-let rem a b = snd (divmod a b)
+
+(* Remainder-only entry point: below the Burnikel-Ziegler threshold the
+   quotient is never materialised. Above it the recursion needs its
+   intermediate quotients, so it falls back to full division. *)
+let rem (a : t) (b : t) : t =
+  let n = Array.length b in
+  if n = 0 then raise Division_by_zero
+  else if n = 1 then of_int (snd (divmod_int a b.(0)))
+  else if compare a b < 0 then a
+  else if n < !burnikel_ziegler_threshold then rem_knuth a b
+  else snd (divmod a b)
 
 (* ------------------------------------------------------------------ *)
 (* Powers, roots                                                       *)

@@ -12,6 +12,9 @@
 
 type t
 
+val limb_bits : int
+(** Bits per limb (31). The representation base is [2 ^ limb_bits]. *)
+
 val zero : t
 val one : t
 val two : t
@@ -68,6 +71,10 @@ val hash : t -> int
 val num_bits : t -> int
 (** Position of the highest set bit plus one; [num_bits zero = 0]. *)
 
+val size_limbs : t -> int
+(** Number of limbs in the normalized representation;
+    [size_limbs zero = 0]. Equals [ceil (num_bits / limb_bits)]. *)
+
 val testbit : t -> int -> bool
 val shift_left : t -> int -> t
 val shift_right : t -> int -> t
@@ -86,7 +93,12 @@ val mul : t -> t -> t
 (** Schoolbook below [karatsuba_threshold] limbs, Karatsuba above. *)
 
 val mul_int : t -> int -> t
+
 val sqr : t -> t
+(** Dedicated squaring: schoolbook with the symmetric cross products
+    computed once below [karatsuba_threshold] limbs, Karatsuba with
+    three recursive squarings above — measurably cheaper than
+    [mul a a] on the remainder tree's mod-square descent. *)
 
 val divmod : t -> t -> t * t
 (** [divmod a b = (q, r)] with [a = q*b + r] and [0 <= r < b].
@@ -95,7 +107,12 @@ val divmod : t -> t -> t * t
     @raise Division_by_zero if [b] is zero. *)
 
 val div : t -> t -> t
+
 val rem : t -> t -> t
+(** Remainder only. Below the Burnikel-Ziegler threshold this runs a
+    dedicated Algorithm-D variant that never allocates or writes the
+    quotient. *)
+
 val divmod_int : t -> int -> t * int
 val mod_int : t -> int -> int
 

@@ -124,10 +124,13 @@ let of_world ?(progress = fun _ -> ()) ?(k = 16) ?domains world =
   let corpus =
     BG.dedup (Array.append https_moduli (Array.of_list other_moduli))
   in
+  (* One persistent pool for the whole pipeline run; [domains] sizes
+     it, defaulting to the hardware (or WEAKKEYS_DOMAINS). *)
+  let pool = Parallel.Pool.get ?domains () in
   progress
-    (Printf.sprintf "batch GCD over %d distinct moduli (k=%d)"
-       (Array.length corpus) k);
-  let findings = BG.factor_subsets ?domains ~k corpus in
+    (Printf.sprintf "batch GCD over %d distinct moduli (k=%d, %d domains)"
+       (Array.length corpus) k (Parallel.Pool.size pool));
+  let findings = BG.factor_subsets ~pool ~k corpus in
   progress (Printf.sprintf "%d moduli factored" (List.length findings));
   let factored, unrecovered = Fp.recover findings in
   let cliques = Fingerprint.Ibm_clique.detect factored in

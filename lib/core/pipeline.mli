@@ -34,7 +34,11 @@ val run :
   Netsim.World.config -> t
 (** Build the world and run the whole measurement pipeline. [k] is the
     subset count for the distributed batch GCD (default 16, the
-    paper's value; clamped to the corpus size). *)
+    paper's value; clamped to the corpus size). [domains] sizes the
+    persistent {!Parallel.Pool} used for key generation, the k-subset
+    fan-out and the level-parallel tree kernels (default: the
+    hardware's recommended domain count, overridable via the
+    [WEAKKEYS_DOMAINS] environment variable). *)
 
 val of_world :
   ?progress:(string -> unit) -> ?k:int -> ?domains:int ->

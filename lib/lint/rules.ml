@@ -273,7 +273,25 @@ let nontail_append ctx =
     run None (code ctx)
 
 (* ------------------------------------------------------------------ *)
-(* Rule 10: task markers must carry an issue tag                       *)
+(* Rule 10: raw domain primitives only inside lib/parallel             *)
+(* ------------------------------------------------------------------ *)
+
+(* Parallelism stays centralised in the Parallel.Pool subsystem: ad-hoc
+   Domain.spawn re-introduces the per-call spawn cost the pool exists
+   to remove, and bypasses its deterministic failure propagation and
+   nesting guard. *)
+let domain_primitives = [ "Domain.spawn"; "Domain.join" ]
+
+let domain_outside_parallel ctx =
+  if in_dir "lib/parallel" ctx.path then []
+  else
+    flag_idents
+      (fun s -> List.mem (strip_stdlib s) domain_primitives)
+      (fun s -> Printf.sprintf "raw domain primitive `%s` outside lib/parallel" s)
+      ctx
+
+(* ------------------------------------------------------------------ *)
+(* Rule 11: task markers must carry an issue tag                       *)
 (* ------------------------------------------------------------------ *)
 
 (* A marker is well-formed when immediately followed by "(#<digits>)",
@@ -388,6 +406,14 @@ let all =
          batch-GCD trees and world stepping are hot paths";
       hint = "accumulate with List.rev_append or a Buffer";
       check = nontail_append };
+    { id = "domain-outside-parallel";
+      severity = Error;
+      doc =
+        "Domain.spawn / Domain.join outside lib/parallel bypasses the \
+         persistent pool (per-call spawn cost, no deterministic failure \
+         propagation, no nesting guard)";
+      hint = "use Parallel.Pool.map / parallel_for, or extend lib/parallel";
+      check = domain_outside_parallel };
     { id = "todo-issue-tag";
       severity = Warning;
       doc = "untracked TODO/FIXME comments rot; tie them to an issue";

@@ -1,12 +1,12 @@
 (* Batch GCD tests: product/remainder tree invariants, equivalence of
    naive / single-tree / k-subset implementations, planted-factor
-   recovery, parallel executor behaviour. *)
+   recovery, domain-pool behaviour. *)
 
 module N = Bignum.Nat
 module PT = Batchgcd.Product_tree
 module RT = Batchgcd.Remainder_tree
 module BG = Batchgcd.Batch_gcd
-module Par = Batchgcd.Parallel
+module Pool = Parallel.Pool
 
 let nat = Alcotest.testable N.pp N.equal
 
@@ -163,30 +163,94 @@ let test_empty_and_single () =
   Alcotest.(check int) "subsets empty" 0
     (List.length (BG.factor_subsets ~k:4 [||]))
 
-(* ---------------- Parallel executor ---------------- *)
+(* ---------------- Domain pool ---------------- *)
+
+let test_pool_sizes_and_reuse () =
+  Alcotest.(check bool) "default_domains >= 1" true (Pool.default_domains () >= 1);
+  let p = Pool.get ~domains:4 () in
+  Alcotest.(check int) "requested size" 4 (Pool.size p);
+  Alcotest.(check int) "clamped to 1" 1 (Pool.size (Pool.get ~domains:0 ()));
+  (* lint: allow phys-equal — the pool (and its spawned domains) must
+     literally be the same instance across calls *)
+  Alcotest.(check bool) "memoized by size" true (p == Pool.get ~domains:4 ())
 
 let test_parallel_map_order () =
   let jobs = Array.init 100 (fun i -> i) in
-  let out = Par.map ~domains:4 (fun i -> i * i) jobs in
-  Alcotest.(check (array int)) "order preserved"
-    (Array.map (fun i -> i * i) jobs)
+  let expected = Array.map (fun i -> i * i) jobs in
+  Alcotest.(check (array int)) "order preserved (parallel)" expected
+    (Pool.map ~domains:4 (fun i -> i * i) jobs);
+  Alcotest.(check (array int)) "order preserved (domains=1)" expected
+    (Pool.map ~domains:1 (fun i -> i * i) jobs);
+  Alcotest.(check (array int)) "init matches" expected
+    (Pool.init ~domains:4 100 (fun i -> i * i));
+  Alcotest.(check (array int)) "empty input" [||]
+    (Pool.map ~domains:4 (fun i -> i * i) [||])
+
+let test_parallel_for_chunked () =
+  List.iter
+    (fun (domains, chunk) ->
+      let hits = Array.make 200 0 in
+      Pool.parallel_for ~domains ?chunk 0 200 (fun i ->
+          hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "every index exactly once (domains=%d)" domains)
+        true
+        (Array.for_all (fun c -> c = 1) hits))
+    [ (1, None); (4, None); (4, Some 1); (4, Some 7); (4, Some 1000) ]
+
+(* Deterministic propagation: every job runs, and the failure with the
+   smallest index wins no matter which domain hit it first. *)
+let test_parallel_map_exception () =
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "first failure wins (domains=%d)" domains)
+        true
+        (try
+           ignore
+             (Pool.map ~domains
+                (fun i ->
+                  (* lint: allow failwith-outside-exn — the worker must raise *)
+                  if i = 3 || i = 7 then failwith (Printf.sprintf "boom-%d" i)
+                  else i)
+                (Array.init 10 (fun i -> i)));
+           false
+         with Pool.Worker_failure (Failure msg) -> msg = "boom-3"))
+    [ 1; 3 ]
+
+let test_nested_map_no_deadlock () =
+  let pool = Pool.get ~domains:4 () in
+  let out =
+    Pool.map ~pool
+      (fun i ->
+        let inner = Pool.map ~pool (fun j -> i * j) (Array.init 8 Fun.id) in
+        Array.fold_left ( + ) 0 inner)
+      (Array.init 16 Fun.id)
+  in
+  Alcotest.(check (array int)) "nested results correct"
+    (Array.init 16 (fun i -> 28 * i))
     out
 
-let test_parallel_map_exception () =
-  Alcotest.(check bool) "exception propagates" true
-    (try
-       (* lint: allow failwith-outside-exn — the worker must raise *)
-       ignore (Par.map ~domains:3 (fun i -> if i = 5 then failwith "boom" else i)
-           (Array.init 10 (fun i -> i)));
-       false
-     with Par.Worker_failure (Failure msg) -> msg = "boom")
-
-let test_parallel_subsets_match_sequential () =
-  let moduli, _ = corpus ~seed:11 ~n_clean:8 ~n_shared:4 () in
-  Alcotest.(check bool) "domains=1 vs domains=4" true
-    (BG.findings_equal
-       (BG.factor_subsets ~domains:1 ~k:4 moduli)
-       (BG.factor_subsets ~domains:4 ~k:4 moduli))
+let test_parallel_batch_match_sequential () =
+  List.iter
+    (fun seed ->
+      let moduli, _ = corpus ~seed ~n_clean:8 ~n_shared:4 () in
+      let seq = BG.factor_batch ~domains:1 moduli in
+      Alcotest.(check bool)
+        (Printf.sprintf "factor_batch domains=1 vs 4 (seed %d)" seed)
+        true
+        (BG.findings_equal seq (BG.factor_batch ~domains:4 moduli));
+      Alcotest.(check bool)
+        (Printf.sprintf "factor_subsets domains=1 vs 4 (seed %d)" seed)
+        true
+        (BG.findings_equal
+           (BG.factor_subsets ~domains:1 ~k:4 moduli)
+           (BG.factor_subsets ~domains:4 ~k:4 moduli));
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel subsets vs sequential batch (seed %d)" seed)
+        true
+        (BG.findings_equal seq (BG.factor_subsets ~domains:4 ~k:3 moduli)))
+    [ 11; 23; 37 ]
 
 (* ---------------- Properties ---------------- *)
 
@@ -233,10 +297,14 @@ let tests =
     Alcotest.test_case "pairwise hits" `Quick test_pairwise_hits;
     Alcotest.test_case "two disjoint groups" `Quick test_two_disjoint_groups;
     Alcotest.test_case "empty and single" `Quick test_empty_and_single;
+    Alcotest.test_case "pool sizes and reuse" `Quick test_pool_sizes_and_reuse;
     Alcotest.test_case "parallel map order" `Quick test_parallel_map_order;
+    Alcotest.test_case "parallel_for chunked" `Quick test_parallel_for_chunked;
     Alcotest.test_case "parallel exception" `Quick test_parallel_map_exception;
+    Alcotest.test_case "nested map no deadlock" `Quick
+      test_nested_map_no_deadlock;
     Alcotest.test_case "parallel = sequential" `Quick
-      test_parallel_subsets_match_sequential;
+      test_parallel_batch_match_sequential;
     prop_implementations_agree;
     prop_divisor_divides;
   ]

@@ -23,7 +23,7 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "ten rules" 10 (List.length R.all);
+  Alcotest.(check int) "eleven rules" 11 (List.length R.all);
   Alcotest.(check int) "ids unique"
     (List.length R.all)
     (List.length (List.sort_uniq String.compare
@@ -128,6 +128,21 @@ let test_nontail_append () =
   check_clean "cold modules may append" "nontail-append"
     ~path:"lib/analysis/dataset.ml" "let f a b = a @ b"
 
+let test_domain_outside_parallel () =
+  check_flagged "spawn in batchgcd" "domain-outside-parallel"
+    ~path:"lib/batchgcd/batch_gcd.ml" "let d = Domain.spawn f";
+  check_flagged "join in tests" "domain-outside-parallel"
+    ~path:"test/test_batchgcd.ml" "let () = Domain.join d";
+  check_flagged "Stdlib-qualified" "domain-outside-parallel"
+    ~path:"lib/netsim/world.ml" "let d = Stdlib.Domain.spawn f";
+  check_clean "pool implementation is exempt" "domain-outside-parallel"
+    ~path:"lib/parallel/pool.ml" "let d = Domain.spawn f";
+  check_clean "other Domain functions are fine" "domain-outside-parallel"
+    ~path:"lib/batchgcd/batch_gcd.ml"
+    "let n = Domain.recommended_domain_count ()";
+  check_clean "own module named Domain_x" "domain-outside-parallel"
+    ~path:"lib/netsim/world.ml" "let d = Domain_pool.spawn f"
+
 let test_todo_issue_tag () =
   check_flagged "untagged TODO" "todo-issue-tag" "(* TODO: fix *) let x = 1";
   check_flagged "untagged FIXME" "todo-issue-tag" "(* FIXME broken *) let x = 1";
@@ -191,6 +206,8 @@ let tests =
     Alcotest.test_case "toplevel-ref" `Quick test_toplevel_ref;
     Alcotest.test_case "missing-mli" `Quick test_missing_mli;
     Alcotest.test_case "nontail-append" `Quick test_nontail_append;
+    Alcotest.test_case "domain-outside-parallel" `Quick
+      test_domain_outside_parallel;
     Alcotest.test_case "todo-issue-tag" `Quick test_todo_issue_tag;
     Alcotest.test_case "suppressions" `Quick test_suppressions;
     Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
