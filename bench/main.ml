@@ -53,14 +53,39 @@ let gcd_a = lazy (nat_of_bits 4096)
 let gcd_b = lazy (nat_of_bits 4096)
 let msg_1k = String.init 1024 (fun i -> Char.chr (i land 0xff))
 
-let with_thresholds km bz f =
-  let k0 = !N.karatsuba_threshold and b0 = !N.burnikel_ziegler_threshold in
-  N.karatsuba_threshold := km;
-  N.burnikel_ziegler_threshold := bz;
-  Fun.protect ~finally:(fun () ->
+(* Pin the kernel dispatch ladder for one timed closure; every knob
+   not passed keeps its current (possibly env-overridden) value. *)
+let with_kernels ?kara ?toom ?bz ?recip ?barrett ?par f =
+  let k0 = !N.karatsuba_threshold
+  and t0 = !N.toom3_threshold
+  and b0 = !N.burnikel_ziegler_threshold
+  and r0 = !N.recip_threshold
+  and ba0 = !N.barrett_threshold
+  and p0 = !N.parallel_mul_threshold in
+  let set r v = Option.iter (fun v -> r := v) v in
+  set N.karatsuba_threshold kara;
+  set N.toom3_threshold toom;
+  set N.burnikel_ziegler_threshold bz;
+  set N.recip_threshold recip;
+  set N.barrett_threshold barrett;
+  set N.parallel_mul_threshold par;
+  Fun.protect
+    ~finally:(fun () ->
       N.karatsuba_threshold := k0;
-      N.burnikel_ziegler_threshold := b0)
+      N.toom3_threshold := t0;
+      N.burnikel_ziegler_threshold := b0;
+      N.recip_threshold := r0;
+      N.barrett_threshold := ba0;
+      N.parallel_mul_threshold := p0)
     f
+
+let with_thresholds km bz f = with_kernels ~kara:km ~bz f
+
+(* The PR 2 kernel configuration: Karatsuba + Burnikel-Ziegler only,
+   no Toom-3, no in-multiply fan-out, no Barrett reciprocals. Used for
+   old-vs-new ablations and the findings_equal cross-check. *)
+let with_pr2_kernels f =
+  with_kernels ~kara:24 ~toom:max_int ~bz:40 ~barrett:max_int ~par:max_int f
 
 (* ---------------- timing tests ---------------- *)
 
@@ -100,11 +125,56 @@ let ablation_multiplication =
   Test.make_grouped ~name:"ablation-mul-threshold"
     [
       t "karatsuba-200kbit" (fun () ->
-          with_thresholds 24 40 (fun () ->
+          with_kernels ~kara:24 ~toom:max_int ~par:max_int (fun () ->
               N.mul (Lazy.force big_a) (Lazy.force big_b)));
       t "schoolbook-200kbit" (fun () ->
-          with_thresholds max_int 40 (fun () ->
+          with_kernels ~kara:max_int ~toom:max_int ~par:max_int (fun () ->
               N.mul (Lazy.force big_a) (Lazy.force big_b)));
+    ]
+
+(* The PR 3 kernel tier: Toom-3 vs Karatsuba at 200k bits (~6.5k
+   limbs), serial and with the in-multiply pool fan-out. *)
+let toom3_group =
+  Test.make_grouped ~name:"toom3"
+    [
+      t "mul-200kbit-karatsuba" (fun () ->
+          with_kernels ~toom:max_int ~par:max_int (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+      t "mul-200kbit-toom3-seq" (fun () ->
+          with_kernels ~par:max_int (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+      t "mul-200kbit-toom3-par" (fun () ->
+          N.mul (Lazy.force big_a) (Lazy.force big_b));
+      t "sqr-200kbit-karatsuba" (fun () ->
+          with_kernels ~toom:max_int ~par:max_int (fun () ->
+              N.sqr (Lazy.force big_a)));
+      t "sqr-200kbit-toom3-seq" (fun () ->
+          with_kernels ~par:max_int (fun () -> N.sqr (Lazy.force big_a)));
+      t "sqr-200kbit-toom3-par" (fun () -> N.sqr (Lazy.force big_a));
+    ]
+
+(* Newton reciprocal vs computing the same floor(base^2n / b) by
+   division, at the remainder-tree root scale. *)
+let recip_group =
+  Test.make_grouped ~name:"recip"
+    [
+      t "recip-150kbit-newton" (fun () -> N.recip (Lazy.force div_den));
+      t "recip-150kbit-division" (fun () ->
+          with_kernels ~recip:max_int (fun () -> N.recip (Lazy.force div_den)));
+    ]
+
+(* Barrett reduction with a cached reciprocal vs plain remainder: the
+   per-descent-step trade the remainder tree makes. The precompute
+   itself is timed separately — it is paid once per tree node. *)
+let rem_precomp_group =
+  let pre = lazy (N.precompute (Lazy.force div_den)) in
+  Test.make_grouped ~name:"rem_precomp"
+    [
+      t "rem-400k/150k-plain" (fun () ->
+          N.rem (Lazy.force div_num) (Lazy.force div_den));
+      t "rem-400k/150k-barrett" (fun () ->
+          N.rem_precomp (Lazy.force div_num) (Lazy.force pre));
+      t "precompute-150k" (fun () -> N.precompute (Lazy.force div_den));
     ]
 
 let ablation_division =
@@ -156,13 +226,34 @@ let keygen_styles =
 let pool_seq = lazy (Parallel.Pool.get ~domains:1 ())
 let pool_par = lazy (Parallel.Pool.get ())
 
+(* Shared descent fixture, with the Barrett caches prewarmed (in
+   force_fixtures, outside any timed region): the descent benches
+   measure steady-state cost per descent; the one-time reciprocal
+   build is timed separately (rem_precomp group) and amortises over
+   the k descents of the distributed driver. *)
+let tree_2048 =
+  lazy
+    (let t =
+       Batchgcd.Product_tree.build ~pool:(Lazy.force pool_seq)
+         (Lazy.force moduli_2048)
+     in
+     Batchgcd.Product_tree.precompute ~squares:true t;
+     t)
+
 let tree_parallel =
   let seq f = fun () -> f ~pool:(Lazy.force pool_seq) () in
   let par f = fun () -> f ~pool:(Lazy.force pool_par) () in
   let build ~pool () = Batchgcd.Product_tree.build ~pool (Lazy.force moduli_2048) in
-  let tree = lazy (build ~pool:(Lazy.force pool_seq) ()) in
+  let tree = tree_2048 in
   let descend ~pool () =
     Batchgcd.Remainder_tree.remainders_mod_square ~pool (Lazy.force tree)
+      (Batchgcd.Product_tree.root (Lazy.force tree))
+  in
+  (* The PR 2 division path (no Barrett precomps), for the
+     old-vs-new remainder-tree comparison in BENCH_batchgcd.json. *)
+  let descend_plain ~pool () =
+    Batchgcd.Remainder_tree.remainders_mod_square ~pool ~precomp:false
+      (Lazy.force tree)
       (Batchgcd.Product_tree.root (Lazy.force tree))
   in
   let batch ~pool () = Batchgcd.Batch_gcd.factor_batch ~pool (Lazy.force moduli_2048) in
@@ -172,12 +263,14 @@ let tree_parallel =
       t "product-tree-2048-par" (par build);
       t "remainder-tree-2048-seq" (seq descend);
       t "remainder-tree-2048-par" (par descend);
+      t "remainder-tree-plain-2048-seq" (seq descend_plain);
+      t "remainder-tree-plain-2048-par" (par descend_plain);
       t "factor-batch-2048-seq" (seq batch);
       t "factor-batch-2048-par" (par batch);
     ]
 
 let substrate =
-  let tree = lazy (Batchgcd.Product_tree.build (Lazy.force moduli_2048)) in
+  let tree = tree_2048 in
   let pow_base = lazy (nat_of_bits 255)
   and pow_exp = lazy (nat_of_bits 255)
   and pow_mod = lazy (N.add (nat_of_bits 256) N.one) in
@@ -206,7 +299,8 @@ let force_fixtures () =
   ignore (Lazy.force div_num);
   ignore (Lazy.force div_den);
   ignore (Lazy.force gcd_a);
-  ignore (Lazy.force gcd_b)
+  ignore (Lazy.force gcd_b);
+  ignore (Lazy.force tree_2048)
 
 let run_timing () =
   force_fixtures ();
@@ -218,7 +312,8 @@ let run_timing () =
   let tests =
     [
       batchgcd_section_3_2; figure2_k_sweep; tree_parallel;
-      ablation_multiplication; ablation_division; ablation_powmod;
+      ablation_multiplication; toom3_group; recip_group; rem_precomp_group;
+      ablation_division; ablation_powmod;
       ablation_gcd; keygen_styles; substrate;
     ]
   in
@@ -258,8 +353,10 @@ let run_timing () =
 (* ---------------- BENCH_batchgcd.json ---------------- *)
 
 (* Machine-readable perf record: every timed kernel, the
-   sequential-vs-parallel speedups of the tree group, and a
-   findings_equal cross-check between the two factor_batch runs. *)
+   sequential-vs-parallel speedups of the tree group, the
+   precomp-vs-division remainder-tree speedup, and findings_equal
+   cross-checks (parallel vs sequential, and old PR 2 kernels vs the
+   new dispatch ladder, on identical corpora). *)
 let emit_json rows =
   let find name = List.assoc_opt name rows in
   let speedup kernel =
@@ -270,13 +367,30 @@ let emit_json rows =
     | Some s, Some p when p > 0. -> Some (kernel, s /. p)
     | _ -> None
   in
-  let findings_ok =
-    Batchgcd.Batch_gcd.findings_equal
-      (Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_seq)
-         (Lazy.force moduli_2048))
+  let precomp_speedup =
+    match
+      ( find "tree-parallel/remainder-tree-plain-2048-seq",
+        find "tree-parallel/remainder-tree-2048-seq" )
+    with
+    | Some plain, Some pre when pre > 0. -> Some (plain /. pre)
+    | _ -> None
+  in
+  let new_findings =
+    Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_seq)
+      (Lazy.force moduli_2048)
+  in
+  let findings_parallel_ok =
+    Batchgcd.Batch_gcd.findings_equal new_findings
       (Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_par)
          (Lazy.force moduli_2048))
   in
+  let findings_kernels_ok =
+    Batchgcd.Batch_gcd.findings_equal new_findings
+      (with_pr2_kernels (fun () ->
+           Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_seq)
+             (Lazy.force moduli_2048)))
+  in
+  let findings_ok = findings_parallel_ok && findings_kernels_ok in
   let path =
     Option.value ~default:"BENCH_batchgcd.json"
       (Sys.getenv_opt "WEAKKEYS_BENCH_JSON")
@@ -291,6 +405,14 @@ let emit_json rows =
         (Parallel.Pool.size (Lazy.force pool_par));
       Printf.fprintf oc "  \"corpus\": { \"moduli\": 2048, \"bits\": 96 },\n";
       Printf.fprintf oc "  \"findings_equal\": %b,\n" findings_ok;
+      Printf.fprintf oc "  \"findings_equal_parallel\": %b,\n"
+        findings_parallel_ok;
+      Printf.fprintf oc "  \"findings_equal_kernels\": %b,\n"
+        findings_kernels_ok;
+      (match precomp_speedup with
+      | Some x ->
+        Printf.fprintf oc "  \"remainder_tree_precomp_speedup\": %.2f,\n" x
+      | None -> ());
       Printf.fprintf oc "  \"speedup\": {%s},\n"
         (String.concat ", "
            (List.filter_map
@@ -298,7 +420,10 @@ let emit_json rows =
                 Option.map
                   (fun (k, x) -> Printf.sprintf "\"%s\": %.2f" k x)
                   (speedup k))
-              [ "product-tree"; "remainder-tree"; "factor-batch" ]));
+              [
+                "product-tree"; "remainder-tree"; "remainder-tree-plain";
+                "factor-batch";
+              ]));
       Printf.fprintf oc "  \"kernels_ns\": {\n%s\n  }\n}\n"
         (String.concat ",\n"
            (List.map

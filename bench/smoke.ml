@@ -65,6 +65,28 @@ let () =
   check "parallel descent equals sequential"
     (Array.for_all2 N.equal rem_s rem_p);
 
+  (* Barrett-precomp descent vs the plain division path, on the same
+     tree (with the cutoff lowered so 96-bit leaves get reciprocals
+     too, not just the wide upper levels). *)
+  let rem_plain, dt =
+    timed (fun () -> RT.remainders_mod_square ~pool:seq ~precomp:false tree_s root)
+  in
+  row "remainder-tree-plain" dt;
+  check "precomp descent equals plain division descent"
+    (Array.for_all2 N.equal rem_s rem_plain);
+  let b0 = !N.barrett_threshold and r0 = !N.recip_threshold in
+  N.barrett_threshold := 2;
+  N.recip_threshold := 2;
+  let rem_low, dt =
+    timed (fun () ->
+        RT.remainders_mod_square ~pool:seq (PT.build ~pool:seq moduli) root)
+  in
+  N.barrett_threshold := b0;
+  N.recip_threshold := r0;
+  row "remainder-tree-barrett-all" dt;
+  check "all-levels-barrett descent equals plain"
+    (Array.for_all2 N.equal rem_plain rem_low);
+
   let fb_s, dt = timed (fun () -> BG.factor_batch ~pool:seq moduli) in
   row "factor-batch-seq" dt;
   let fb_p, dt = timed (fun () -> BG.factor_batch ~pool:par moduli) in
@@ -74,6 +96,28 @@ let () =
   check "factor_batch parallel = sequential" (BG.findings_equal fb_s fb_p);
   check "factor_subsets = factor_batch" (BG.findings_equal fb_s fs_p);
   check "planted factors recovered" (List.length fb_s >= 8);
+
+  (* findings_equal between the old (PR 2) kernel configuration and
+     the full new dispatch ladder, on the identical corpus. *)
+  let k0 = !N.karatsuba_threshold
+  and t0 = !N.toom3_threshold
+  and bz0 = !N.burnikel_ziegler_threshold
+  and ba0 = !N.barrett_threshold
+  and p0 = !N.parallel_mul_threshold in
+  N.karatsuba_threshold := 24;
+  N.toom3_threshold := max_int;
+  N.burnikel_ziegler_threshold := 40;
+  N.barrett_threshold := max_int;
+  N.parallel_mul_threshold := max_int;
+  let fb_old, dt = timed (fun () -> BG.factor_batch ~pool:seq moduli) in
+  N.karatsuba_threshold := k0;
+  N.toom3_threshold := t0;
+  N.burnikel_ziegler_threshold := bz0;
+  N.barrett_threshold := ba0;
+  N.parallel_mul_threshold := p0;
+  row "factor-batch-pr2-kernels" dt;
+  check "old kernels findings = new kernels findings"
+    (BG.findings_equal fb_s fb_old);
 
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d check(s) failed\n%!" !failures;

@@ -1,7 +1,16 @@
 module N = Bignum.Nat
 module Pool = Parallel.Pool
 
-type t = { levels : N.t array array }
+(* Barrett precomps are built lazily per level (or eagerly via
+   [precompute]) and memoised in the option slots. The caches are
+   single-writer: descents fill them from the calling domain before
+   fanning a level out, and the distributed driver precomputes every
+   tree before its parallel phase, so workers only ever read. *)
+type t = {
+  levels : N.t array array;
+  sq_pre : N.precomp array option array;
+  node_pre : N.precomp array option array;
+}
 
 (* Level-parallel cutoffs: a level fans out onto the pool only when it
    has enough independent nodes to share and each node is wide enough
@@ -12,6 +21,12 @@ let min_par_limbs = 4
 
 let level_parallel ~nodes ~width =
   nodes >= min_par_nodes && width >= min_par_limbs
+
+(* Width of a level is its widest node: gating on the first node alone
+   misclassifies a level whose leading node happens to be a narrow
+   odd-one-out (e.g. a tiny modulus sorted first). *)
+let max_width lvl =
+  Array.fold_left (fun acc x -> Stdlib.max acc (N.size_limbs x)) 0 lvl
 
 let build ?pool inputs =
   if Array.length inputs = 0 then invalid_arg "Product_tree.build: empty";
@@ -28,14 +43,16 @@ let build ?pool inputs =
         else level.(2 * i)
       in
       let next =
-        if level_parallel ~nodes:pairs ~width:(N.size_limbs level.(0)) then
+        if level_parallel ~nodes:pairs ~width:(max_width level) then
           Pool.init ?pool pairs node
         else Array.init pairs node
       in
       up (level :: acc) next
     end
   in
-  { levels = Array.of_list (up [] inputs) }
+  let levels = Array.of_list (up [] inputs) in
+  let d = Array.length levels in
+  { levels; sq_pre = Array.make d None; node_pre = Array.make d None }
 
 let leaves t = t.levels.(0)
 let depth t = Array.length t.levels
@@ -50,3 +67,40 @@ let total_limbs t =
     (fun acc lvl ->
       Array.fold_left (fun acc n -> acc + N.size_limbs n) acc lvl)
     0 t.levels
+
+(* Build one level's precomp array, fanning out under the same policy
+   as the build itself (a precompute is a reciprocal, i.e. multiplies). *)
+let precomp_level ?pool make lvl =
+  let n = Array.length lvl in
+  let node i = make lvl.(i) in
+  if level_parallel ~nodes:n ~width:(max_width lvl) then
+    Pool.init ?pool n node
+  else Array.init n node
+
+let sq_precomps ?pool t k =
+  match t.sq_pre.(k) with
+  | Some ps -> ps
+  | None ->
+    let ps =
+      precomp_level ?pool (fun node -> N.precompute (N.sqr node)) t.levels.(k)
+    in
+    t.sq_pre.(k) <- Some ps;
+    ps
+
+let node_precomps ?pool t k =
+  match t.node_pre.(k) with
+  | Some ps -> ps
+  | None ->
+    let ps = precomp_level ?pool N.precompute t.levels.(k) in
+    t.node_pre.(k) <- Some ps;
+    ps
+
+(* Root-level precomps are never needed: both descents special-case the
+   top (the value being pushed down is already smaller than root^2,
+   resp. reduced by a plain rem), so eager precomputation stops one
+   level short. *)
+let precompute ?pool ~squares t =
+  for k = 0 to depth t - 2 do
+    if squares then ignore (sq_precomps ?pool t k)
+    else ignore (node_precomps ?pool t k)
+  done

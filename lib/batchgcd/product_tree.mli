@@ -30,9 +30,30 @@ val total_limbs : t -> int
     trees needed 70-100 GB per cluster node; this is our proxy
     metric. *)
 
+val precompute : ?pool:Parallel.Pool.t -> squares:bool -> t -> unit
+(** Eagerly build and cache the Barrett precomps ({!Bignum.Nat.precompute})
+    for every non-root level: of the squared nodes when [squares] is
+    true (the mod-square descent), of the nodes themselves otherwise
+    (plain {!Remainder_tree.remainders}). Idempotent. The lazy per-level
+    cache is single-writer, so call this before sharing one tree across
+    concurrent descents (as the distributed k-subset driver does). *)
+
 (**/**)
 
 val level_parallel : nodes:int -> width:int -> bool
 (** Whether a level of [nodes] nodes of [width] limbs is worth fanning
     out — shared with {!Remainder_tree} so both kernels use one
     cutoff policy. Exposed for tests and the bench harness. *)
+
+val max_width : Bignum.Nat.t array -> int
+(** Widest node of a level, in limbs — the width fed to
+    {!level_parallel} (gating on the first node alone misclassifies
+    levels led by a narrow odd-one-out). *)
+
+val sq_precomps : ?pool:Parallel.Pool.t -> t -> int -> Bignum.Nat.precomp array
+(** Cached precomps of the squared nodes of level [k], built on first
+    use. Not safe to first-call concurrently; see {!precompute}. *)
+
+val node_precomps :
+  ?pool:Parallel.Pool.t -> t -> int -> Bignum.Nat.precomp array
+(** Cached precomps of the nodes of level [k]; same caveats. *)

@@ -17,6 +17,33 @@ let mask = base - 1
    restored afterwards, never written on the computation paths. *)
 let karatsuba_threshold = ref 24 (* lint: allow toplevel-ref *)
 let burnikel_ziegler_threshold = ref 40 (* lint: allow toplevel-ref *)
+let toom3_threshold = ref 96 (* lint: allow toplevel-ref *)
+let recip_threshold = ref 16 (* lint: allow toplevel-ref *)
+let barrett_threshold = ref 48 (* lint: allow toplevel-ref *)
+let parallel_mul_threshold = ref 512 (* lint: allow toplevel-ref *)
+
+(* Threshold sweeps (EXPERIMENTS.md) tune the dispatch ladder from the
+   environment, mirroring WEAKKEYS_DOMAINS, so a bench run does not
+   need a rebuild per candidate value. [floor] keeps values that would
+   break the recursion invariants (e.g. a 1-limb Karatsuba split never
+   terminating) out entirely. *)
+let env_threshold name ~floor r =
+  match Sys.getenv_opt name with
+  | None -> ()
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= floor -> r := n
+    | _ ->
+      invalid_arg
+        (Printf.sprintf "%s: expected an integer >= %d" name floor))
+
+let () =
+  env_threshold "WEAKKEYS_KARATSUBA_THRESHOLD" ~floor:2 karatsuba_threshold;
+  env_threshold "WEAKKEYS_TOOM_THRESHOLD" ~floor:4 toom3_threshold;
+  env_threshold "WEAKKEYS_BZ_THRESHOLD" ~floor:2 burnikel_ziegler_threshold;
+  env_threshold "WEAKKEYS_RECIP_THRESHOLD" ~floor:1 recip_threshold;
+  env_threshold "WEAKKEYS_BARRETT_THRESHOLD" ~floor:2 barrett_threshold;
+  env_threshold "WEAKKEYS_PARMUL_THRESHOLD" ~floor:2 parallel_mul_threshold
 
 let zero : t = [||]
 let is_zero (a : t) = Array.length a = 0
@@ -258,27 +285,150 @@ let add_into (r : int array) (x : t) off =
     incr i
   done
 
+(* Fan one node's independent sub-products (Karatsuba's 3, Toom-3's 5)
+   onto the process-wide domain pool. Only multiplies whose smaller
+   operand reaches [parallel_mul_threshold] pay the dispatch cost, and
+   the pool's DLS nesting guard runs re-entrant calls inline, so at
+   most one level of any multiply tree fans out: the giant serial
+   nodes at the top of a product tree finally occupy every domain,
+   while level-parallel tree code and deeper recursion stay sequential
+   within their worker. *)
+let run_products wide (fs : (unit -> t) array) : t array =
+  if wide then Parallel.Pool.map ~chunk:1 (fun f -> f ()) fs
+  else Array.map (fun f -> f ()) fs
+
+(* Exact single-limb division by 3, used only by Toom-3 interpolation
+   where divisibility is guaranteed; asserts exactness. *)
+let div3_exact (a : t) : t =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / 3;
+    r := cur mod 3
+  done;
+  assert (!r = 0);
+  norm q
+
+(* Signed values for Toom-3 evaluation/interpolation: a pair of a sign
+   flag and a magnitude, normalised so zero is always (false, zero).
+   Only the interpolation intermediates can go negative; every final
+   coefficient of the product polynomial is non-negative. *)
+let s_norm ((neg, m) as s) = if neg && is_zero m then (false, m) else s
+let s_pos m = (false, m)
+
+let s_add (na, a) (nb, b) =
+  if na = nb then (na, add a b)
+  else if compare a b >= 0 then s_norm (na, sub a b)
+  else (nb, sub b a)
+
+let s_sub a (nb, b) = s_add a (s_norm (not nb, b))
+let s_half (n, m) = (n, shift_right m 1)
+let s_double (n, m) = (n, shift_left m 1)
+let s_third (n, m) = (n, div3_exact m)
+
+let s_nonneg (neg, m) =
+  assert ((not neg) || is_zero m);
+  m
+
+(* Evaluate the split operand a0 + a1*x + a2*x^2 at x = 1, -1, -2
+   (Bodrato's evaluation points; 0 and infinity are a0 and a2). *)
+let toom3_eval a0 a1 a2 =
+  let t02 = add a0 a2 in
+  let p1 = add t02 a1 in
+  let m1 = s_sub (s_pos t02) (s_pos a1) in
+  let m2 = s_sub (s_double (s_add m1 (s_pos a2))) (s_pos a0) in
+  (p1, m1, m2)
+
+(* Bodrato's interpolation sequence: recover c1..c3 of the degree-4
+   product polynomial from the five pointwise products. The divisions
+   (one halving twice, one exact division by 3) are exact, and c0 = z0,
+   c4 = zinf need no work. *)
+let toom3_interp ~z0 ~z1 ~zm1 ~zm2 ~zinf =
+  let t3 = s_third (s_sub zm2 (s_pos z1)) in
+  let t1 = s_half (s_sub (s_pos z1) zm1) in
+  let t2 = s_sub zm1 (s_pos z0) in
+  let c3 = s_add (s_half (s_sub t2 t3)) (s_pos (shift_left zinf 1)) in
+  let c2 = s_sub (s_add t2 t1) (s_pos zinf) in
+  let c1 = s_sub t1 c3 in
+  (s_nonneg c1, s_nonneg c2, s_nonneg c3)
+
+(* Accumulate the five coefficients at limb offsets 0, k, .., 4k. Each
+   c_i * base^(i*k) is at most the full product, so no carry escapes
+   the [lr] result limbs. *)
+let toom3_assemble ~lr ~k z0 c1 c2 c3 zinf =
+  let r = Array.make lr 0 in
+  add_into r z0 0;
+  add_into r c1 k;
+  add_into r c2 (2 * k);
+  add_into r c3 (3 * k);
+  add_into r zinf (4 * k);
+  norm r
+
 let rec mul (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
-  else if Stdlib.min la lb < !karatsuba_threshold then mul_school a b
   else begin
-    (* Karatsuba: split both operands at half the longer length. The
-       middle product uses (a0+a1)(b0+b1) - z0 - z2, which never goes
-       negative over the naturals. The three partial products are
-       accumulated into a single result buffer; each partial sum is at
-       most a*b, so no carry escapes the la+lb limbs. *)
-    let k = (Stdlib.max la lb + 1) / 2 in
-    let a0, a1 = split_at a k and b0, b1 = split_at b k in
-    let z0 = mul a0 b0 in
-    let z2 = mul a1 b1 in
-    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
-    let r = Array.make (la + lb) 0 in
-    add_into r z0 0;
-    add_into r z1 k;
-    add_into r z2 (2 * k);
-    norm r
+    let lmin = Stdlib.min la lb and lmax = Stdlib.max la lb in
+    if lmin < !karatsuba_threshold then mul_school a b
+    else if lmin >= !toom3_threshold && 2 * lmin > lmax then mul_toom3 a b
+    else mul_karatsuba a b
   end
+
+and mul_karatsuba (a : t) (b : t) : t =
+  (* Karatsuba: split both operands at half the longer length. The
+     middle product uses (a0+a1)(b0+b1) - z0 - z2, which never goes
+     negative over the naturals. The three partial products are
+     accumulated into a single result buffer; each partial sum is at
+     most a*b, so no carry escapes the la+lb limbs. *)
+  let la = Array.length a and lb = Array.length b in
+  let k = (Stdlib.max la lb + 1) / 2 in
+  let a0, a1 = split_at a k and b0, b1 = split_at b k in
+  let zs =
+    run_products
+      (Stdlib.min la lb >= !parallel_mul_threshold)
+      [| (fun () -> mul a0 b0);
+         (fun () -> mul a1 b1);
+         (fun () -> mul (add a0 a1) (add b0 b1)) |]
+  in
+  let z0 = zs.(0) and z2 = zs.(1) in
+  let z1 = sub zs.(2) (add z0 z2) in
+  let r = Array.make (la + lb) 0 in
+  add_into r z0 0;
+  add_into r z1 k;
+  add_into r z2 (2 * k);
+  norm r
+
+and mul_toom3 (a : t) (b : t) : t =
+  (* Toom-Cook-3: split each operand into three k-limb pieces, evaluate
+     both polynomials at {0, 1, -1, -2, inf}, multiply pointwise (five
+     products of ~n/3 limbs instead of Karatsuba's three of ~n/2), and
+     interpolate. Only reached for near-balanced operands: the mul
+     dispatcher requires 2*min > max, so every piece is nonempty-ish
+     and the O(n^1.465) exponent actually pays off. *)
+  let la = Array.length a and lb = Array.length b in
+  let k = (Stdlib.max la lb + 2) / 3 in
+  let a0, ahi = split_at a k in
+  let a1, a2 = split_at ahi k in
+  let b0, bhi = split_at b k in
+  let b1, b2 = split_at bhi k in
+  let pa1, (na1, ma1), (na2, ma2) = toom3_eval a0 a1 a2 in
+  let pb1, (nb1, mb1), (nb2, mb2) = toom3_eval b0 b1 b2 in
+  let zs =
+    run_products
+      (Stdlib.min la lb >= !parallel_mul_threshold)
+      [| (fun () -> mul a0 b0);
+         (fun () -> mul pa1 pb1);
+         (fun () -> mul ma1 mb1);
+         (fun () -> mul ma2 mb2);
+         (fun () -> mul a2 b2) |]
+  in
+  let z0 = zs.(0) and zinf = zs.(4) in
+  let zm1 = s_norm (na1 <> nb1, zs.(2)) in
+  let zm2 = s_norm (na2 <> nb2, zs.(3)) in
+  let c1, c2, c3 = toom3_interp ~z0 ~z1:zs.(1) ~zm1 ~zm2 ~zinf in
+  toom3_assemble ~lr:(la + lb) ~k z0 c1 c2 c3 zinf
 
 (* Schoolbook squaring: accumulate each cross product a_i*a_j (j > i)
    once, double the whole accumulator with a one-bit shift, then add
@@ -321,21 +471,54 @@ let rec sqr (a : t) : t =
   let la = Array.length a in
   if la = 0 then zero
   else if la < !karatsuba_threshold then sqr_school a
-  else begin
-    (* Karatsuba squaring: the middle term 2*a0*a1 is recovered as
-       (a0+a1)^2 - a0^2 - a1^2, so all three recursive products are
-       themselves squarings. *)
-    let k = (la + 1) / 2 in
-    let a0, a1 = split_at a k in
-    let z0 = sqr a0 in
-    let z2 = sqr a1 in
-    let z1 = sub (sqr (add a0 a1)) (add z0 z2) in
-    let r = Array.make (2 * la) 0 in
-    add_into r z0 0;
-    add_into r z1 k;
-    add_into r z2 (2 * k);
-    norm r
-  end
+  else if la >= !toom3_threshold then sqr_toom3 a
+  else sqr_karatsuba a
+
+and sqr_karatsuba (a : t) : t =
+  (* Karatsuba squaring: the middle term 2*a0*a1 is recovered as
+     (a0+a1)^2 - a0^2 - a1^2, so all three recursive products are
+     themselves squarings. *)
+  let la = Array.length a in
+  let k = (la + 1) / 2 in
+  let a0, a1 = split_at a k in
+  let zs =
+    run_products
+      (la >= !parallel_mul_threshold)
+      [| (fun () -> sqr a0);
+         (fun () -> sqr a1);
+         (fun () -> sqr (add a0 a1)) |]
+  in
+  let z0 = zs.(0) and z2 = zs.(1) in
+  let z1 = sub zs.(2) (add z0 z2) in
+  let r = Array.make (2 * la) 0 in
+  add_into r z0 0;
+  add_into r z1 k;
+  add_into r z2 (2 * k);
+  norm r
+
+and sqr_toom3 (a : t) : t =
+  (* Toom-3 squaring: signs vanish under squaring ((-m)^2 = m^2), so
+     all five pointwise products are squarings of the evaluation
+     magnitudes and the interpolation inputs are all non-negative. *)
+  let la = Array.length a in
+  let k = (la + 2) / 3 in
+  let a0, ahi = split_at a k in
+  let a1, a2 = split_at ahi k in
+  let p1, (_, m1), (_, m2) = toom3_eval a0 a1 a2 in
+  let zs =
+    run_products
+      (la >= !parallel_mul_threshold)
+      [| (fun () -> sqr a0);
+         (fun () -> sqr p1);
+         (fun () -> sqr m1);
+         (fun () -> sqr m2);
+         (fun () -> sqr a2) |]
+  in
+  let z0 = zs.(0) and zinf = zs.(4) in
+  let c1, c2, c3 =
+    toom3_interp ~z0 ~z1:zs.(1) ~zm1:(s_pos zs.(2)) ~zm2:(s_pos zs.(3)) ~zinf
+  in
+  toom3_assemble ~lr:(2 * la) ~k z0 c1 c2 c3 zinf
 
 let mul_int (a : t) k =
   if k < 0 then invalid_arg "Nat.mul_int: negative"
@@ -551,6 +734,120 @@ let rem (a : t) (b : t) : t =
   else if compare a b < 0 then a
   else if n < !burnikel_ziegler_threshold then rem_knuth a b
   else snd (divmod a b)
+
+(* ------------------------------------------------------------------ *)
+(* Newton reciprocal and Barrett reduction                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a / base^k without materialising the low part (split_at allocates
+   both halves; the reciprocal hot path only ever wants the top). *)
+let drop_limbs (a : t) k =
+  let la = Array.length a in
+  if k <= 0 then a
+  else if k >= la then zero
+  else norm (Array.sub a k (la - k))
+
+(* recip_core b n = floor(base^(2n) / b) for b of exactly n limbs with
+   a nonzero top limb. Newton-Raphson on the shifted reciprocal: lift
+   the reciprocal of the top ceil(n/2) limbs, apply one quadratically
+   convergent refinement step (two multiplies), then repair the tiny
+   residual error exactly with one short division by b. Division is
+   only used at the recursion base and for the final correction, so the
+   cost is dominated by multiplications and inherits their
+   (parallel, subquadratic) kernels. *)
+let rec recip_core (b : t) n : t =
+  if n <= !recip_threshold then div (shift_limbs one (2 * n)) b
+  else begin
+    let h = (n + 1) / 2 in
+    (* Top h limbs of b; top limb stays nonzero, so the recursive
+       precondition holds. *)
+    let bh = norm (Array.sub b (n - h) h) in
+    let xh = recip_core bh h in
+    (* x0 = xh * base^(n-h) approximates base^(2n)/b from above-ish;
+       one Newton step: x1 = x0 + x0*(base^(2n) - x0*b)/base^(2n). *)
+    let x0 = shift_limbs xh (n - h) in
+    let p0 = mul x0 b in
+    let beta2n = shift_limbs one (2 * n) in
+    let x1 =
+      if compare p0 beta2n <= 0 then
+        let e = sub beta2n p0 in
+        add x0 (drop_limbs (mul x0 e) (2 * n))
+      else
+        let e = sub p0 beta2n in
+        sub x0 (drop_limbs (mul x0 e) (2 * n))
+    in
+    (* Exact correction: the Newton estimate is off by a handful of
+       units at most, so the closing divmod is of a short number by b
+       and costs O(M(n)) not O(n^2). *)
+    let p1 = mul x1 b in
+    if compare p1 beta2n <= 0 then
+      let q, _ = divmod (sub beta2n p1) b in
+      add x1 q
+    else begin
+      let q, r = divmod (sub p1 beta2n) b in
+      let x = sub x1 q in
+      if is_zero r then x else sub x one
+    end
+  end
+
+let recip (b : t) : t =
+  let n = Array.length b in
+  if n = 0 then raise Division_by_zero else recip_core b n
+
+(* Precomputed divisor state for repeated reduction by the same
+   modulus. Below [barrett_threshold] the reciprocal would cost more
+   than it saves, so [pc_mu] is omitted and rem_precomp falls back to
+   plain [rem] -- the cached divisor itself is still worth having when
+   the caller would otherwise recompute it (e.g. squared tree nodes). *)
+type precomp = { pc_d : t; pc_mu : t option; pc_n : int }
+
+let precompute (b : t) : precomp =
+  let n = Array.length b in
+  if n = 0 then raise Division_by_zero
+  else if n < !barrett_threshold then { pc_d = b; pc_mu = None; pc_n = n }
+  else { pc_d = b; pc_mu = Some (recip_core b n); pc_n = n }
+
+let precomp_divisor p = p.pc_d
+
+(* One Barrett step (HAC 14.42): for a < base^(2n), the estimate
+   qhat = floor(floor(a / base^(n-1)) * mu / base^(n+1)) satisfies
+   q - 2 <= qhat <= q, so after subtracting qhat*b at most two
+   corrective subtractions remain. *)
+let barrett_step ~mu ~b ~n (a : t) : t =
+  if compare a b < 0 then a
+  else begin
+    let qhat = drop_limbs (mul (drop_limbs a (n - 1)) mu) (n + 1) in
+    let r = ref (sub a (mul qhat b)) in
+    while compare !r b >= 0 do
+      r := sub !r b
+    done;
+    !r
+  end
+
+let rem_precomp (a : t) (p : precomp) : t =
+  match p.pc_mu with
+  | None -> rem a p.pc_d
+  | Some mu ->
+    let b = p.pc_d and n = p.pc_n in
+    let la = Array.length a in
+    if compare a b < 0 then a
+    else if la <= 2 * n then barrett_step ~mu ~b ~n a
+    else begin
+      (* Fold base^n-sized blocks from the top down, maintaining
+         r < b so each step's input r*base^n + block < b*base^n
+         <= base^(2n) stays within Barrett's domain. *)
+      let nblocks = (la + n - 1) / n in
+      let r = ref (norm (Array.sub a ((nblocks - 1) * n)
+                           (la - ((nblocks - 1) * n)))) in
+      for i = nblocks - 2 downto 0 do
+        let lr = Array.length !r in
+        let x = Array.make (n + lr) 0 in
+        Array.blit a (i * n) x 0 n;
+        Array.blit !r 0 x n lr;
+        r := barrett_step ~mu ~b ~n (norm x)
+      done;
+      !r
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Powers, roots                                                       *)

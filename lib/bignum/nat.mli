@@ -90,15 +90,23 @@ val sub : t -> t -> t
 val sub_int : t -> int -> t
 
 val mul : t -> t -> t
-(** Schoolbook below [karatsuba_threshold] limbs, Karatsuba above. *)
+(** Schoolbook below [karatsuba_threshold] limbs, Karatsuba above, and
+    Toom-Cook-3 once both operands reach [toom3_threshold] limbs and
+    are near-balanced. Past [parallel_mul_threshold] limbs the
+    independent sub-products of one recursion level fan out onto
+    {!Parallel.Pool}; the pool's nesting guard keeps recursive and
+    tree-level parallel calls inline, so this composes with
+    [Product_tree]/[Remainder_tree] level parallelism deadlock-free. *)
 
 val mul_int : t -> int -> t
 
 val sqr : t -> t
 (** Dedicated squaring: schoolbook with the symmetric cross products
     computed once below [karatsuba_threshold] limbs, Karatsuba with
-    three recursive squarings above — measurably cheaper than
-    [mul a a] on the remainder tree's mod-square descent. *)
+    three recursive squarings above, Toom-3 with five recursive
+    squarings above [toom3_threshold] — measurably cheaper than
+    [mul a a] on the remainder tree's mod-square descent. Parallelises
+    like {!mul}. *)
 
 val divmod : t -> t -> t * t
 (** [divmod a b = (q, r)] with [a = q*b + r] and [0 <= r < b].
@@ -115,6 +123,35 @@ val rem : t -> t -> t
 
 val divmod_int : t -> int -> t * int
 val mod_int : t -> int -> int
+
+(** {1 Precomputed reduction}
+
+    Bernstein's scaled-remainder trick for the remainder-tree descent:
+    compute the shifted reciprocal of a divisor once, then replace each
+    division by it with two multiplies (Barrett reduction). *)
+
+val recip : t -> t
+(** [recip b] is [floor (base^(2n) / b)] for [n = size_limbs b],
+    computed by Newton-Raphson iteration on the top halves (so its cost
+    is a constant number of multiplies at each size, inheriting the
+    subquadratic kernels) with an exact final correction.
+    @raise Division_by_zero if [b] is zero. *)
+
+type precomp
+(** A divisor together with its cached Barrett state. *)
+
+val precompute : t -> precomp
+(** [precompute b] caches [b] and, when [size_limbs b >=
+    !barrett_threshold], its shifted reciprocal.
+    @raise Division_by_zero if [b] is zero. *)
+
+val precomp_divisor : precomp -> t
+(** The divisor the precomp was built from. *)
+
+val rem_precomp : t -> precomp -> t
+(** [rem_precomp a p = rem a (precomp_divisor p)], via Barrett block
+    reduction when the reciprocal is cached (any dividend length; large
+    dividends fold base^n blocks from the top), plain {!rem} otherwise. *)
 
 val pow : t -> int -> t
 (** [pow b e] with a non-negative native exponent. *)
@@ -150,10 +187,34 @@ val random_below : (int -> string) -> t -> t
 (** Uniform in [\[0, bound)] by rejection sampling.
     @raise Invalid_argument if the bound is zero. *)
 
-(** {1 Tuning} *)
+(** {1 Tuning}
+
+    Kernel dispatch thresholds, in limbs. Each can be overridden at
+    startup from the environment (EXPERIMENTS.md threshold-sweep
+    recipe): [WEAKKEYS_KARATSUBA_THRESHOLD], [WEAKKEYS_TOOM_THRESHOLD],
+    [WEAKKEYS_BZ_THRESHOLD], [WEAKKEYS_RECIP_THRESHOLD],
+    [WEAKKEYS_BARRETT_THRESHOLD] and [WEAKKEYS_PARMUL_THRESHOLD];
+    malformed or dangerously small values raise [Invalid_argument] at
+    module initialisation, mirroring [WEAKKEYS_DOMAINS]. *)
 
 val karatsuba_threshold : int ref
 val burnikel_ziegler_threshold : int ref
+
+val toom3_threshold : int ref
+(** Minimum limb count of the {e smaller} operand before [mul]/[sqr]
+    switch from Karatsuba to Toom-3 (default 96). *)
+
+val recip_threshold : int ref
+(** Below this divisor size (limbs) {!recip} just divides (default 16). *)
+
+val barrett_threshold : int ref
+(** Minimum divisor size (limbs) for {!precompute} to cache a
+    reciprocal; smaller divisors reduce via plain {!rem} (default 48). *)
+
+val parallel_mul_threshold : int ref
+(** Minimum size (limbs) of the smaller operand before one level of
+    [mul]/[sqr] recursion fans its sub-products onto the domain pool
+    (default 512). *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -22,6 +22,7 @@ type t = {
   subject_label_index : (int array, string) Hashtbl.t;
   factored_index : (int array, Fingerprint.Factored.t) Hashtbl.t;
   clique_index : (int array, unit) Hashtbl.t;
+  fp_cache : (Cert.t, string) Hashtbl.t;
 }
 
 let modulus_of_record (r : Sc.host_record) =
@@ -29,15 +30,16 @@ let modulus_of_record (r : Sc.host_record) =
 
 (* Certificates are shared across every record that observed them, and
    the report renders dozens of series over millions of records:
-   memoize the (SHA-256) fingerprint per certificate value. *)
-let fp_cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536
-
-let cert_fingerprint c =
-  match Hashtbl.find_opt fp_cache c with
+   memoize the (SHA-256) fingerprint per certificate value. The cache
+   lives in the pipeline value (not a process global), so its lifetime
+   is bounded by the run that owns the certificates it keys on and
+   repeated runs in one process do not accumulate dead worlds. *)
+let cert_fingerprint cache c =
+  match Hashtbl.find_opt cache c with
   | Some fp -> fp
   | None ->
     let fp = Cert.fingerprint c in
-    Hashtbl.replace fp_cache c fp;
+    Hashtbl.replace cache c fp;
     fp
 
 let limb_set moduli =
@@ -46,7 +48,7 @@ let limb_set moduli =
   tbl
 
 (* Subject/content labels per distinct certificate fingerprint. *)
-let build_cert_labels scans =
+let build_cert_labels fp_cache scans =
   let titles = Analysis.Dataset.page_title_index scans in
   let labels : (string, Fingerprint.Rules.label option) Hashtbl.t =
     Hashtbl.create 4096
@@ -55,7 +57,7 @@ let build_cert_labels scans =
     (fun (s : Sc.scan) ->
       Array.iter
         (fun (r : Sc.host_record) ->
-          let fp = cert_fingerprint r.Sc.cert in
+          let fp = cert_fingerprint fp_cache r.Sc.cert in
           if not (Hashtbl.mem labels fp) then begin
             let page_title = Hashtbl.find_opt titles fp in
             Hashtbl.replace labels fp
@@ -67,7 +69,7 @@ let build_cert_labels scans =
 
 (* Majority subject label per modulus, from the certificates that
    carry it. *)
-let build_modulus_subject_labels scans cert_labels =
+let build_modulus_subject_labels fp_cache scans cert_labels =
   let votes : (int array, (string, int) Hashtbl.t) Hashtbl.t =
     Hashtbl.create 4096
   in
@@ -75,7 +77,7 @@ let build_modulus_subject_labels scans cert_labels =
     (fun (s : Sc.scan) ->
       Array.iter
         (fun (r : Sc.host_record) ->
-          let fp = cert_fingerprint r.Sc.cert in
+          let fp = cert_fingerprint fp_cache r.Sc.cert in
           match Hashtbl.find_opt cert_labels fp with
           | Some (Some { Fingerprint.Rules.vendor; _ }) ->
             let k = N.to_limbs (modulus_of_record r) in
@@ -135,8 +137,11 @@ let of_world ?(progress = fun _ -> ()) ?(k = 16) ?domains world =
   let factored, unrecovered = Fp.recover findings in
   let cliques = Fingerprint.Ibm_clique.detect factored in
   progress "fingerprinting implementations";
-  let cert_labels = build_cert_labels scans in
-  let subject_labels = build_modulus_subject_labels scans cert_labels in
+  let fp_cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536 in
+  let cert_labels = build_cert_labels fp_cache scans in
+  let subject_labels =
+    build_modulus_subject_labels fp_cache scans cert_labels
+  in
   (* Clique moduli with no subject label are IBM (prior knowledge from
      the 2012 study: the nine-prime implementation is the IBM card). *)
   let clique_members = limb_set (List.concat_map (fun c -> c.Fingerprint.Ibm_clique.moduli) cliques) in
@@ -176,6 +181,7 @@ let of_world ?(progress = fun _ -> ()) ?(k = 16) ?domains world =
     subject_label_index = subject_labels;
     factored_index;
     clique_index = clique_members;
+    fp_cache;
   }
 
 let run ?progress ?k ?domains config =
@@ -189,7 +195,7 @@ let run ?progress ?k ?domains config =
 let is_vulnerable t n = Hashtbl.mem t.vuln_index (N.to_limbs n)
 
 let vendor_of_record t (r : Sc.host_record) =
-  let fp = cert_fingerprint r.Sc.cert in
+  let fp = cert_fingerprint t.fp_cache r.Sc.cert in
   match Hashtbl.find_opt t.cert_label_index fp with
   | Some (Some { Fingerprint.Rules.vendor; _ }) -> Some vendor
   | _ -> begin
@@ -202,7 +208,7 @@ let vendor_of_record t (r : Sc.host_record) =
   end
 
 let model_of_record t (r : Sc.host_record) =
-  let fp = cert_fingerprint r.Sc.cert in
+  let fp = cert_fingerprint t.fp_cache r.Sc.cert in
   match Hashtbl.find_opt t.cert_label_index fp with
   | Some (Some { Fingerprint.Rules.model_id = Some m; _ }) -> Some m
   | _ -> None
@@ -223,7 +229,7 @@ let vulnerable_https_certs t =
       Array.iter
         (fun (r : Sc.host_record) ->
           if is_vulnerable t (modulus_of_record r) then
-            Hashtbl.replace seen (cert_fingerprint r.Sc.cert) ())
+            Hashtbl.replace seen (cert_fingerprint t.fp_cache r.Sc.cert) ())
         s.Sc.records)
     t.scans;
   Hashtbl.length seen

@@ -25,6 +25,9 @@ type t = {
   subject_label_index : (int array, string) Hashtbl.t;
   factored_index : (int array, Fingerprint.Factored.t) Hashtbl.t;
   clique_index : (int array, unit) Hashtbl.t;
+  fp_cache : (X509lite.Certificate.t, string) Hashtbl.t;
+      (** per-run certificate-fingerprint memo; bounded by this run's
+          certificate population, unlike the former process global *)
 }
 
 val run :

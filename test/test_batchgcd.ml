@@ -74,6 +74,91 @@ let test_remainder_tree_matches_direct () =
         rs2.(i))
     inputs
 
+(* Precomp (Barrett) descents against the plain division path, with
+   the barrett cutoff lowered so even 96-bit leaves get reciprocals. *)
+let test_precomp_descent_matches_plain () =
+  let with_barrett b f =
+    let b0 = !N.barrett_threshold and r0 = !N.recip_threshold in
+    N.barrett_threshold := b;
+    N.recip_threshold := 2;
+    Fun.protect
+      ~finally:(fun () ->
+        N.barrett_threshold := b0;
+        N.recip_threshold := r0)
+      f
+  in
+  let gen = mk_gen 12 in
+  let inputs = Array.init 40 (fun _ -> N.add (N.random_bits gen 96) N.two) in
+  let v = N.random_bits gen 5000 in
+  List.iter
+    (fun barrett ->
+      with_barrett barrett (fun () ->
+          let t = PT.build inputs in
+          let plain_sq = RT.remainders_mod_square ~precomp:false t v in
+          let pre_sq = RT.remainders_mod_square t v in
+          let plain = RT.remainders ~precomp:false t v in
+          let pre = RT.remainders t v in
+          Array.iteri
+            (fun i m ->
+              Alcotest.check nat
+                (Printf.sprintf "mod-square barrett>=%d leaf %d" barrett i)
+                (N.rem v (N.sqr m)) pre_sq.(i);
+              Alcotest.check nat
+                (Printf.sprintf "plain-vs-pre %d" i)
+                plain.(i) pre.(i);
+              Alcotest.check nat
+                (Printf.sprintf "sq plain-vs-pre %d" i)
+                plain_sq.(i) pre_sq.(i))
+            inputs;
+          (* second descent reuses the cached precomps *)
+          let pre_sq2 = RT.remainders_mod_square t v in
+          Array.iteri
+            (fun i r -> Alcotest.check nat "cached descent" r pre_sq2.(i))
+            pre_sq))
+    [ 2; 1000 ]
+
+(* The level_parallel width gate must look at the widest node: a level
+   led by a narrow odd-one-out still classifies as parallel, and the
+   parallel and sequential builds agree. *)
+let test_mixed_width_level () =
+  Alcotest.(check int) "max_width" 7
+    (PT.max_width [| N.one; N.shift_left N.one 200 |]);
+  Alcotest.(check int) "max_width empty-ish" 0 (PT.max_width [| N.one; N.one |] - 1);
+  Alcotest.(check bool) "parallel when widest is wide" true
+    (PT.level_parallel ~nodes:8 ~width:(PT.max_width [| N.one; N.shift_left N.one 200 |]));
+  let gen = mk_gen 14 in
+  let inputs =
+    Array.init 24 (fun i ->
+        (* first input tiny, the rest wide *)
+        if i = 0 then N.of_int 3
+        else N.add (N.random_bits gen 300) N.two)
+  in
+  let tp = PT.build ~pool:(Pool.get ~domains:4 ()) inputs in
+  let ts = PT.build ~pool:(Pool.get ~domains:1 ()) inputs in
+  Alcotest.check nat "par root = seq root" (PT.root ts) (PT.root tp);
+  let v = N.random_bits gen 4000 in
+  let rp = RT.remainders_mod_square ~pool:(Pool.get ~domains:4 ()) tp v in
+  let rs = RT.remainders_mod_square ~pool:(Pool.get ~domains:1 ()) ts v in
+  Array.iteri
+    (fun i r -> Alcotest.check nat (Printf.sprintf "descent %d" i) r rp.(i))
+    rs
+
+(* Eager precomputation must be idempotent and leave descents
+   unchanged (the distributed driver calls it before its fan-out). *)
+let test_precompute_eager () =
+  let gen = mk_gen 16 in
+  let inputs = Array.init 16 (fun _ -> N.add (N.random_bits gen 96) N.two) in
+  let t = PT.build inputs in
+  let v = N.random_bits gen 3000 in
+  let before = RT.remainders_mod_square t v in
+  PT.precompute ~squares:true t;
+  PT.precompute ~squares:true t;
+  PT.precompute ~squares:false t;
+  let after = RT.remainders_mod_square t v in
+  Array.iteri
+    (fun i r -> Alcotest.check nat (Printf.sprintf "leaf %d" i) r after.(i))
+    before
+
 (* ---------------- Batch GCD ---------------- *)
 
 let test_planted_factor_recovered () =
@@ -287,6 +372,10 @@ let tests =
     Alcotest.test_case "product tree singleton" `Quick test_product_tree_singleton;
     Alcotest.test_case "product tree rejects" `Quick test_product_tree_rejects;
     Alcotest.test_case "remainder tree" `Quick test_remainder_tree_matches_direct;
+    Alcotest.test_case "precomp descent = plain" `Quick
+      test_precomp_descent_matches_plain;
+    Alcotest.test_case "mixed-width level" `Quick test_mixed_width_level;
+    Alcotest.test_case "eager precompute" `Quick test_precompute_eager;
     Alcotest.test_case "planted factor recovered" `Quick
       test_planted_factor_recovered;
     Alcotest.test_case "clean corpus" `Quick test_clean_corpus_no_findings;

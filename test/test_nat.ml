@@ -185,16 +185,32 @@ let props =
         N.compare a b = -N.compare b a);
   ]
 
-(* Cross-check Karatsuba and Burnikel-Ziegler against the schoolbook
-   paths by lowering thresholds for the duration of the test. *)
-let with_thresholds km bz f =
-  let k0 = !N.karatsuba_threshold and b0 = !N.burnikel_ziegler_threshold in
-  N.karatsuba_threshold := km;
+(* Cross-check the kernels against each other by moving dispatch
+   thresholds for the duration of a test. Every knob not passed is
+   pinned so each test exercises exactly the ladder rung it names. *)
+let with_kernels ?(kara = !N.karatsuba_threshold) ?(toom = max_int)
+    ?(bz = !N.burnikel_ziegler_threshold) ?(recip = !N.recip_threshold)
+    ?(barrett = !N.barrett_threshold) f =
+  let k0 = !N.karatsuba_threshold
+  and t0 = !N.toom3_threshold
+  and b0 = !N.burnikel_ziegler_threshold
+  and r0 = !N.recip_threshold
+  and ba0 = !N.barrett_threshold in
+  N.karatsuba_threshold := kara;
+  N.toom3_threshold := toom;
   N.burnikel_ziegler_threshold := bz;
-  Fun.protect ~finally:(fun () ->
+  N.recip_threshold := recip;
+  N.barrett_threshold := barrett;
+  Fun.protect
+    ~finally:(fun () ->
       N.karatsuba_threshold := k0;
-      N.burnikel_ziegler_threshold := b0)
+      N.toom3_threshold := t0;
+      N.burnikel_ziegler_threshold := b0;
+      N.recip_threshold := r0;
+      N.barrett_threshold := ba0)
     f
+
+let with_thresholds km bz f = with_kernels ~kara:km ~bz f
 
 let test_karatsuba_vs_schoolbook () =
   let gen = mk_gen 7 in
@@ -228,6 +244,105 @@ let test_bz_balanced_and_edge_shapes () =
       (2600, 2600); (2600, 1300); (1, 5000); (0, 5000); (5000, 1);
     ]
 
+(* Toom-3 against Karatsuba and schoolbook across shapes straddling
+   the dispatch boundaries: balanced at/around a lowered threshold,
+   unbalanced enough to fall back to Karatsuba, aliased operands. *)
+let test_toom3_vs_karatsuba () =
+  let gen = mk_gen 13 in
+  List.iter
+    (fun (abits, bbits) ->
+      let a = N.random_bits gen abits and b = N.random_bits gen bbits in
+      let school =
+        with_kernels ~kara:max_int (fun () -> N.mul a b)
+      in
+      let kara = with_kernels ~kara:4 (fun () -> N.mul a b) in
+      let toom = with_kernels ~kara:4 ~toom:8 (fun () -> N.mul a b) in
+      Alcotest.check nat "karatsuba = schoolbook" school kara;
+      Alcotest.check nat "toom3 = schoolbook" school toom;
+      let sq_school = with_kernels ~kara:max_int (fun () -> N.sqr a) in
+      let sq_toom = with_kernels ~kara:4 ~toom:8 (fun () -> N.sqr a) in
+      Alcotest.check nat "sqr toom3 = schoolbook" sq_school sq_toom;
+      let mul_self = with_kernels ~kara:4 ~toom:8 (fun () -> N.mul a a) in
+      Alcotest.check nat "sqr = mul a a (aliased)" sq_toom mul_self)
+    [
+      (200, 200); (247, 247); (248, 248); (249, 230); (300, 160);
+      (4000, 3500); (6000, 1000); (5000, 5000); (5000, 0);
+    ]
+
+(* Around the default 96-limb boundary with production thresholds:
+   2976 bits is exactly 96 limbs. *)
+let test_toom3_default_boundary () =
+  let gen = mk_gen 15 in
+  List.iter
+    (fun bits ->
+      let a = N.random_bits gen bits and b = N.random_bits gen bits in
+      let def = with_kernels ~toom:!N.toom3_threshold (fun () -> N.mul a b) in
+      let kara = with_kernels (fun () -> N.mul a b) in
+      Alcotest.check nat "default ladder = karatsuba-only" kara def)
+    [ 2940; 2976; 3007; 6200 ]
+
+let test_recip_bounds () =
+  let gen = mk_gen 17 in
+  with_kernels ~recip:4 (fun () ->
+      List.iter
+        (fun bits ->
+          let b = N.add (N.random_bits gen bits) N.one in
+          let n = N.size_limbs b in
+          let q = N.recip b in
+          let beta2n = N.shift_left N.one (2 * n * N.limb_bits) in
+          Alcotest.(check bool)
+            "q*b <= beta^2n" true
+            (N.compare (N.mul q b) beta2n <= 0);
+          Alcotest.(check bool)
+            "(q+1)*b > beta^2n" true
+            (N.compare (N.mul (N.add q N.one) b) beta2n > 0))
+        (* below/at/above the lowered recursion base, through several
+           doublings, plus a power of two and a top-heavy divisor *)
+        [ 31; 124; 125; 155; 300; 1000; 4000 ]);
+  Alcotest.check nat "recip 1" (N.shift_left N.one (2 * N.limb_bits))
+    (N.recip N.one);
+  Alcotest.check_raises "recip 0" Division_by_zero (fun () ->
+      ignore (N.recip N.zero))
+
+let test_rem_precomp_matches_rem () =
+  let gen = mk_gen 19 in
+  with_kernels ~recip:4 ~barrett:6 (fun () ->
+      List.iter
+        (fun dlimbs ->
+          (* divisors one limb below/at/above the barrett cutoff *)
+          let b = N.add (N.random_bits gen (dlimbs * N.limb_bits)) N.one in
+          let p = N.precompute b in
+          Alcotest.check nat "precomp_divisor" b (N.precomp_divisor p);
+          List.iter
+            (fun abits ->
+              let a = N.random_bits gen abits in
+              Alcotest.check nat
+                (Printf.sprintf "rem_precomp %d-limb div, %d-bit a" dlimbs
+                   abits)
+                (N.rem a b) (N.rem_precomp a p))
+            [ 0; 50; dlimbs * N.limb_bits; 2 * dlimbs * N.limb_bits;
+              (7 * dlimbs * N.limb_bits / 2); 9 * dlimbs * N.limb_bits ])
+        [ 5; 6; 7; 12; 40 ]);
+  (* a = multiple of b reduces to zero through the barrett path *)
+  with_kernels ~recip:4 ~barrett:4 (fun () ->
+      let b = N.add (N.random_bits (mk_gen 23) 400) N.one in
+      let p = N.precompute b in
+      let a = N.mul b (N.random_bits (mk_gen 29) 900) in
+      Alcotest.check nat "exact multiple" N.zero (N.rem_precomp a p))
+
+(* Production-scale spot check: default thresholds, divisor above the
+   48-limb barrett cutoff, dividend spanning several blocks. *)
+let test_rem_precomp_default_thresholds () =
+  let gen = mk_gen 31 in
+  let b = N.add (N.random_bits gen 1600) N.one in
+  let p = N.precompute b in
+  List.iter
+    (fun abits ->
+      let a = N.random_bits gen abits in
+      Alcotest.check nat "default-threshold rem_precomp" (N.rem a b)
+        (N.rem_precomp a p))
+    [ 1500; 1600; 3200; 9000 ]
+
 let test_infix () =
   let open N.Infix in
   let a = N.of_int 100 and b = N.of_int 7 in
@@ -258,8 +373,14 @@ let tests =
     Alcotest.test_case "pow_mod fermat" `Quick test_pow_mod_fermat;
     Alcotest.test_case "random_below range" `Quick test_random_below_in_range;
     Alcotest.test_case "karatsuba vs schoolbook" `Slow test_karatsuba_vs_schoolbook;
+    Alcotest.test_case "toom3 vs karatsuba/schoolbook" `Slow test_toom3_vs_karatsuba;
+    Alcotest.test_case "toom3 default boundary" `Slow test_toom3_default_boundary;
     Alcotest.test_case "burnikel-ziegler vs knuth" `Slow test_bz_vs_knuth;
     Alcotest.test_case "division edge shapes" `Quick test_bz_balanced_and_edge_shapes;
+    Alcotest.test_case "recip bounds" `Quick test_recip_bounds;
+    Alcotest.test_case "rem_precomp vs rem" `Quick test_rem_precomp_matches_rem;
+    Alcotest.test_case "rem_precomp default thresholds" `Quick
+      test_rem_precomp_default_thresholds;
     Alcotest.test_case "infix operators" `Quick test_infix;
   ]
   @ props
