@@ -14,8 +14,9 @@
       same rows/series the paper reports.
 
    The timing half also emits a machine-readable BENCH_batchgcd.json
-   (per-kernel ns plus the sequential-vs-parallel tree speedups) so
-   the perf trajectory of the batch-GCD kernels is tracked PR over PR.
+   (per-kernel ns plus the sequential-vs-parallel tree speedups and
+   the incremental-ingest speedup) so the perf trajectory of the
+   batch-GCD kernels is tracked PR over PR.
 
    Environment knobs:
      WEAKKEYS_BENCH_SCALE   world scale for part 2 (default 0.15)
@@ -45,6 +46,8 @@ let corpus ~n ~planted =
 
 let moduli_512 = lazy (corpus ~n:512 ~planted:16)
 let moduli_2048 = lazy (corpus ~n:2048 ~planted:32)
+let moduli_1792 = lazy (Array.sub (Lazy.force moduli_2048) 0 1792)
+let delta_256 = lazy (Array.sub (Lazy.force moduli_2048) 1792 256)
 let big_a = lazy (nat_of_bits 200_000)
 let big_b = lazy (nat_of_bits 200_000)
 let div_num = lazy (nat_of_bits 400_000)
@@ -269,6 +272,28 @@ let tree_parallel =
       t "factor-batch-2048-par" (par batch);
     ]
 
+(* The incremental-ingest trade (Batchgcd.Incremental): full k-subset
+   recompute over all 2048 moduli vs folding the last 256 into a
+   cached 1792-modulus forest. Both run on the sequential pool so the
+   ratio isolates the algorithmic saving from domain fan-out; the
+   cached state is built once in force_fixtures (its Barrett caches
+   prewarm on the first extend, also outside the timed region). *)
+let inc_1792 =
+  lazy
+    (Batchgcd.Incremental.create ~pool:(Lazy.force pool_seq) ~k:16
+       (Lazy.force moduli_1792))
+
+let delta_ingest =
+  Test.make_grouped ~name:"delta-ingest"
+    [
+      t "full-k16-2048" (fun () ->
+          Batchgcd.Batch_gcd.factor_subsets ~pool:(Lazy.force pool_seq) ~k:16
+            (Lazy.force moduli_2048));
+      t "extend-256-into-1792" (fun () ->
+          Batchgcd.Incremental.extend ~pool:(Lazy.force pool_seq)
+            (Lazy.force inc_1792) (Lazy.force delta_256));
+    ]
+
 let substrate =
   let tree = tree_2048 in
   let pow_base = lazy (nat_of_bits 255)
@@ -300,7 +325,12 @@ let force_fixtures () =
   ignore (Lazy.force div_den);
   ignore (Lazy.force gcd_a);
   ignore (Lazy.force gcd_b);
-  ignore (Lazy.force tree_2048)
+  ignore (Lazy.force tree_2048);
+  (* One throwaway extend fills the cached segments' Barrett
+     reciprocals, so the timed runs measure steady-state ingest. *)
+  ignore
+    (Batchgcd.Incremental.extend ~pool:(Lazy.force pool_seq)
+       (Lazy.force inc_1792) (Lazy.force delta_256))
 
 let run_timing () =
   force_fixtures ();
@@ -311,7 +341,7 @@ let run_timing () =
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let tests =
     [
-      batchgcd_section_3_2; figure2_k_sweep; tree_parallel;
+      batchgcd_section_3_2; figure2_k_sweep; tree_parallel; delta_ingest;
       ablation_multiplication; toom3_group; recip_group; rem_precomp_group;
       ablation_division; ablation_powmod;
       ablation_gcd; keygen_styles; substrate;
@@ -375,6 +405,14 @@ let emit_json rows =
     | Some plain, Some pre when pre > 0. -> Some (plain /. pre)
     | _ -> None
   in
+  let incremental_speedup =
+    match
+      ( find "delta-ingest/full-k16-2048",
+        find "delta-ingest/extend-256-into-1792" )
+    with
+    | Some full, Some ext when ext > 0. -> Some (full /. ext)
+    | _ -> None
+  in
   let new_findings =
     Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_seq)
       (Lazy.force moduli_2048)
@@ -390,7 +428,15 @@ let emit_json rows =
            Batchgcd.Batch_gcd.factor_batch ~pool:(Lazy.force pool_seq)
              (Lazy.force moduli_2048)))
   in
-  let findings_ok = findings_parallel_ok && findings_kernels_ok in
+  let findings_incremental_ok =
+    Batchgcd.Batch_gcd.findings_equal new_findings
+      (Batchgcd.Incremental.findings
+         (Batchgcd.Incremental.extend ~pool:(Lazy.force pool_seq)
+            (Lazy.force inc_1792) (Lazy.force delta_256)))
+  in
+  let findings_ok =
+    findings_parallel_ok && findings_kernels_ok && findings_incremental_ok
+  in
   let path =
     Option.value ~default:"BENCH_batchgcd.json"
       (Sys.getenv_opt "WEAKKEYS_BENCH_JSON")
@@ -409,9 +455,14 @@ let emit_json rows =
         findings_parallel_ok;
       Printf.fprintf oc "  \"findings_equal_kernels\": %b,\n"
         findings_kernels_ok;
+      Printf.fprintf oc "  \"findings_equal_incremental\": %b,\n"
+        findings_incremental_ok;
       (match precomp_speedup with
       | Some x ->
         Printf.fprintf oc "  \"remainder_tree_precomp_speedup\": %.2f,\n" x
+      | None -> ());
+      (match incremental_speedup with
+      | Some x -> Printf.fprintf oc "  \"incremental_speedup\": %.2f,\n" x
       | None -> ());
       Printf.fprintf oc "  \"speedup\": {%s},\n"
         (String.concat ", "

@@ -119,6 +119,41 @@ let () =
   check "old kernels findings = new kernels findings"
     (BG.findings_equal fb_s fb_old);
 
+  (* Incremental ingest: create over the first 64 moduli, extend with
+     the remaining 32, findings must match the one-shot run; then a
+     checkpoint save -> load -> extend round trip through a temp file. *)
+  let module Inc = Batchgcd.Incremental in
+  let early = Array.sub moduli 0 64 and late = Array.sub moduli 64 32 in
+  let inc0, dt = timed (fun () -> Inc.create ~pool:seq ~k:4 early) in
+  row "incremental-create-64-k4" dt;
+  let inc1, dt = timed (fun () -> Inc.extend ~pool:seq inc0 late) in
+  row "incremental-extend-32" dt;
+  check "incremental extend findings = one-shot factor_batch"
+    (BG.findings_equal fb_s (Inc.findings inc1));
+  check "incremental corpus preserves order"
+    (Array.for_all2 N.equal moduli (Inc.corpus inc1));
+  let ckpt = Filename.temp_file "weakkeys-smoke" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove ckpt)
+    (fun () ->
+      let (), dt =
+        timed (fun () ->
+            let oc = open_out_bin ckpt in
+            Inc.save oc inc0;
+            close_out oc)
+      in
+      row "incremental-save-64" dt;
+      let loaded, dt =
+        timed (fun () ->
+            let ic = open_in_bin ckpt in
+            Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Inc.load ic))
+      in
+      row "incremental-load-64" dt;
+      check "checkpoint round trip preserves findings"
+        (BG.findings_equal (Inc.findings inc0) (Inc.findings loaded));
+      check "extend after checkpoint load = one-shot factor_batch"
+        (BG.findings_equal fb_s (Inc.findings (Inc.extend ~pool:seq loaded late))));
+
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d check(s) failed\n%!" !failures;
     exit 2

@@ -5,6 +5,8 @@
      table   - print one of the paper's tables (1-5)
      figure  - print one of the paper's figures (1-10)
      factor  - batch-GCD a file of hex moduli (one per line)
+     ingest  - batch-GCD a moduli file and write a checkpoint directory
+     extend  - fold new moduli into an existing checkpoint incrementally
      keygen  - generate demonstration keys under an entropy profile
      world   - build the simulated internet and print summary stats *)
 
@@ -41,18 +43,34 @@ let config_of seed scale =
 let progress_of quiet =
   if quiet then fun _ -> () else fun m -> Printf.eprintf "[weakkeys] %s\n%!" m
 
-let run_pipeline seed scale k quiet =
-  Weakkeys.Pipeline.run ~progress:(progress_of quiet) ~k (config_of seed scale)
+let run_pipeline ?checkpoint_dir seed scale k quiet =
+  Weakkeys.Pipeline.run ~progress:(progress_of quiet) ~k ?checkpoint_dir
+    (config_of seed scale)
 
 (* ------------- report ------------- *)
 
+let ckpt_opt_arg =
+  let doc =
+    "Checkpoint directory. The batch-GCD stage is saved there and restored \
+     on a rerun over the identical corpus instead of recomputing."
+  in
+  Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"DIR" ~doc)
+
 let report_cmd =
-  let run seed scale k quiet =
-    print_string (Weakkeys.Report.full_report (run_pipeline seed scale k quiet))
+  let run seed scale k quiet ckpt =
+    let p = run_pipeline ?checkpoint_dir:ckpt seed scale k quiet in
+    if not quiet then
+      List.iter
+        (fun (tm : Weakkeys.Stage.timing) ->
+          Printf.eprintf "[weakkeys] stage %-12s %6.2fs%s\n%!"
+            tm.Weakkeys.Stage.stage tm.Weakkeys.Stage.seconds
+            (if tm.Weakkeys.Stage.restored then " (restored)" else ""))
+        p.Weakkeys.Pipeline.timings;
+    print_string (Weakkeys.Report.full_report p)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full study: every table and figure.")
-    Term.(const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg)
+    Term.(const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg $ ckpt_opt_arg)
 
 (* ------------- table / figure ------------- *)
 
@@ -106,50 +124,138 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Print one of the paper's figures.")
     Term.(const run $ idx $ seed_arg $ scale_arg $ k_arg $ quiet_arg)
 
-(* ------------- factor ------------- *)
+(* ------------- factor / ingest / extend ------------- *)
+
+let moduli_file_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:"File of moduli, one per line, hex (0x optional) or decimal. \
+              Use - for stdin.")
+
+let read_moduli file =
+  let ic = if file = "-" then stdin else open_in file in
+  let moduli = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then begin
+         let n =
+           if String.length line > 2 && line.[0] = '0' && line.[1] = 'x' then
+             N.of_string line
+           else if String.exists (function 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) line
+           then N.of_string ("0x" ^ line)
+           else N.of_string line
+         in
+         moduli := n :: !moduli
+       end
+     done
+   with End_of_file -> if file <> "-" then close_in ic);
+  Array.of_list (List.rev !moduli)
+
+let print_findings ~total findings =
+  Printf.printf "# %d of %d moduli share factors\n" (List.length findings) total;
+  List.iter
+    (fun f ->
+      Printf.printf "%s divisor=%s\n"
+        (N.to_hex f.Batchgcd.Batch_gcd.modulus)
+        (N.to_hex f.Batchgcd.Batch_gcd.divisor))
+    findings
 
 let factor_cmd =
-  let file =
-    Arg.(
-      required & pos 0 (some string) None
-      & info [] ~docv:"FILE"
-          ~doc:"File of moduli, one per line, hex (0x optional) or decimal. \
-                Use - for stdin.")
-  in
   let run file k =
-    let ic = if file = "-" then stdin else open_in file in
-    let moduli = ref [] in
-    (try
-       while true do
-         let line = String.trim (input_line ic) in
-         if line <> "" && line.[0] <> '#' then begin
-           let n =
-             if String.length line > 2 && line.[0] = '0' && line.[1] = 'x' then
-               N.of_string line
-             else if String.exists (function 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) line
-             then N.of_string ("0x" ^ line)
-             else N.of_string line
-           in
-           moduli := n :: !moduli
-         end
-       done
-     with End_of_file -> if file <> "-" then close_in ic);
-    let arr = Batchgcd.Batch_gcd.dedup (Array.of_list (List.rev !moduli)) in
+    let arr = Batchgcd.Batch_gcd.dedup (read_moduli file) in
     Printf.eprintf "[weakkeys] batch GCD over %d distinct moduli (k=%d)\n%!"
       (Array.length arr) k;
     let findings = Batchgcd.Batch_gcd.factor_subsets ~k arr in
-    Printf.printf "# %d of %d moduli share factors\n" (List.length findings)
-      (Array.length arr);
-    List.iter
-      (fun f ->
-        Printf.printf "%s divisor=%s\n"
-          (N.to_hex f.Batchgcd.Batch_gcd.modulus)
-          (N.to_hex f.Batchgcd.Batch_gcd.divisor))
-      findings
+    print_findings ~total:(Array.length arr) findings
   in
   Cmd.v
     (Cmd.info "factor" ~doc:"Batch-GCD a file of RSA moduli.")
-    Term.(const run $ file $ k_arg)
+    Term.(const run $ moduli_file_arg $ k_arg)
+
+(* [ingest] and [extend] keep the product-tree forest of
+   [Batchgcd.Incremental] in DIR/incremental.ckpt, so folding next
+   month's moduli in costs one delta tree plus remainder descents
+   instead of a full recompute. *)
+
+let ckpt_req_arg =
+  let doc = "Checkpoint directory holding the cached batch-GCD state." in
+  Arg.(required & opt (some string) None & info [ "ckpt" ] ~docv:"DIR" ~doc)
+
+let state_path dir = Filename.concat dir "incremental.ckpt"
+
+let save_state dir inc =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = state_path dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Batchgcd.Incremental.save oc inc;
+  close_out oc;
+  Sys.rename tmp path;
+  path
+
+let load_state dir =
+  let ic = open_in_bin (state_path dir) in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Batchgcd.Incremental.load ic)
+
+let ingest_cmd =
+  let run ckpt file k =
+    let arr = Batchgcd.Batch_gcd.dedup (read_moduli file) in
+    Printf.eprintf "[weakkeys] ingesting %d distinct moduli (k=%d)\n%!"
+      (Array.length arr) k;
+    let inc = Batchgcd.Incremental.create ~k arr in
+    let path = save_state ckpt inc in
+    Printf.eprintf "[weakkeys] wrote %s (%d segments)\n%!" path
+      (Batchgcd.Incremental.segment_count inc);
+    print_findings
+      ~total:(Batchgcd.Incremental.corpus_size inc)
+      (Batchgcd.Incremental.findings inc)
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:
+         "Batch-GCD a file of RSA moduli and cache the product-tree forest \
+          in a checkpoint directory for later 'extend' runs.")
+    Term.(const run $ ckpt_req_arg $ moduli_file_arg $ k_arg)
+
+let extend_cmd =
+  let run ckpt file =
+    let inc = load_state ckpt in
+    let old_size = Batchgcd.Incremental.corpus_size inc in
+    let old_findings = List.length (Batchgcd.Incremental.findings inc) in
+    (* Dedup the delta against everything already in the corpus. *)
+    let store = Corpus.Store.create ~size:(2 * old_size) () in
+    Array.iter
+      (fun m -> ignore (Corpus.Store.intern store m))
+      (Batchgcd.Incremental.corpus inc);
+    let fresh = ref [] in
+    Array.iter
+      (fun m ->
+        let before = Corpus.Store.size store in
+        if Corpus.Store.intern store m >= before then fresh := m :: !fresh)
+      (read_moduli file);
+    let fresh = Array.of_list (List.rev !fresh) in
+    Printf.eprintf "[weakkeys] extending %d-modulus corpus with %d new moduli\n%!"
+      old_size (Array.length fresh);
+    let inc = Batchgcd.Incremental.extend inc fresh in
+    let path = save_state ckpt inc in
+    Printf.eprintf "[weakkeys] wrote %s (%d segments, +%d findings)\n%!" path
+      (Batchgcd.Incremental.segment_count inc)
+      (List.length (Batchgcd.Incremental.findings inc) - old_findings);
+    print_findings
+      ~total:(Batchgcd.Incremental.corpus_size inc)
+      (Batchgcd.Incremental.findings inc)
+  in
+  Cmd.v
+    (Cmd.info "extend"
+       ~doc:
+         "Fold new moduli into a checkpointed corpus via incremental batch \
+          GCD; no cached product tree is rebuilt, findings match a \
+          from-scratch run over the union.")
+    Term.(const run $ ckpt_req_arg $ moduli_file_arg)
 
 (* ------------- keygen ------------- *)
 
@@ -278,5 +384,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "weakkeys" ~version:"1.0.0" ~doc)
-          [ report_cmd; table_cmd; figure_cmd; factor_cmd; keygen_cmd; world_cmd;
-            export_cmd ]))
+          [ report_cmd; table_cmd; figure_cmd; factor_cmd; ingest_cmd;
+            extend_cmd; keygen_cmd; world_cmd; export_cmd ]))

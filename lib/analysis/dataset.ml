@@ -2,7 +2,6 @@ module Sc = Netsim.Scanner
 module Cert = X509lite.Certificate
 module Dn = X509lite.Dn
 module Date = X509lite.Date
-module N = Bignum.Nat
 
 let exclude_intermediates (scan : Sc.scan) =
   (* Group records by IP; drop any record whose certificate subject is
@@ -91,17 +90,12 @@ let distinct_certs scans =
   Array.of_list (List.rev !out)
 
 let distinct_moduli scans =
-  let seen = Hashtbl.create 4096 in
-  let out = ref [] in
+  let seen = Corpus.Store.create ~size:4096 () in
   fold_records
     (fun () (r : Sc.host_record) ->
-      let k = N.to_limbs r.Sc.cert.Cert.public_key.Rsa.Keypair.n in
-      if not (Hashtbl.mem seen k) then begin
-        Hashtbl.replace seen k ();
-        out := r.Sc.cert.Cert.public_key.Rsa.Keypair.n :: !out
-      end)
+      ignore (Corpus.Store.intern seen r.Sc.cert.Cert.public_key.Rsa.Keypair.n))
     () scans;
-  Array.of_list (List.rev !out)
+  Corpus.Store.to_array seen
 
 let stats_of_scans scans =
   let host_records =

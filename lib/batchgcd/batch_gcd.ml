@@ -7,17 +7,9 @@ let resolve_pool pool domains =
   match pool with Some p -> p | None -> Pool.get ?domains ()
 
 let dedup moduli =
-  let seen = Hashtbl.create (Array.length moduli) in
-  let keep = ref [] in
-  Array.iter
-    (fun m ->
-      let key = N.to_limbs m in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.replace seen key ();
-        keep := m :: !keep
-      end)
-    moduli;
-  Array.of_list (List.rev !keep)
+  let store = Corpus.Store.create ~size:(Array.length moduli) () in
+  Array.iter (fun m -> ignore (Corpus.Store.intern store m)) moduli;
+  Corpus.Store.to_array store
 
 let finding_of index modulus divisor =
   if N.is_one divisor || N.is_zero divisor then None
@@ -78,9 +70,9 @@ let factor_batch ?pool ?domains moduli =
     collect divisors moduli
   end
 
-let factor_subsets ?pool ?domains ~k moduli =
+let factor_subsets_trees ?pool ?domains ~k moduli =
   let n = Array.length moduli in
-  if n = 0 then []
+  if n = 0 then ([||], [])
   else begin
     let pool = resolve_pool pool domains in
     let k = Stdlib.max 1 (Stdlib.min k n) in
@@ -139,8 +131,12 @@ let factor_subsets ?pool ?domains ~k moduli =
           contributions)
       pieces;
     let divisors = Array.mapi (fun g m -> N.gcd m acc.(g)) moduli in
-    collect divisors moduli
+    let segments = Array.mapi (fun s tree -> (starts.(s), tree)) trees in
+    (segments, collect divisors moduli)
   end
+
+let factor_subsets ?pool ?domains ~k moduli =
+  snd (factor_subsets_trees ?pool ?domains ~k moduli)
 
 let findings_equal a b =
   let cmp f g =

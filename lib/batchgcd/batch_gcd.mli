@@ -50,3 +50,26 @@ val factor_subsets :
 
 val findings_equal : finding list -> finding list -> bool
 (** Order-insensitive comparison, for cross-implementation tests. *)
+
+(**/**)
+
+val factor_subsets_trees :
+  ?pool:Parallel.Pool.t ->
+  ?domains:int ->
+  k:int ->
+  Bignum.Nat.t array ->
+  (int * Product_tree.t) array * finding list
+(** {!factor_subsets} that also returns the per-subset product trees
+    (with their leaf offset into the input array) so {!Incremental}
+    can seed its segment forest without rebuilding them. Subsets are
+    contiguous: concatenating the segments' leaves in offset order
+    reproduces the input. *)
+
+val own_subset_component : Bignum.Nat.t -> Bignum.Nat.t -> Bignum.Nat.t
+(** [own_subset_component m z] with [z = P mod m^2] and [m | P] is
+    [(P / m) mod m] — the contribution of [m]'s own subset to its
+    accumulated cofactor product. Shared with {!Incremental}. *)
+
+val collect : Bignum.Nat.t array -> Bignum.Nat.t array -> finding list
+(** [collect divisors moduli] keeps the nontrivial per-index divisors
+    as findings, in index order. Shared with {!Incremental}. *)

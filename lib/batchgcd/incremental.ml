@@ -1,0 +1,173 @@
+module N = Bignum.Nat
+module PT = Product_tree
+module RT = Remainder_tree
+module Pool = Parallel.Pool
+module BG = Batch_gcd
+module Io = Corpus.Io
+
+type t = {
+  total : int;
+  segments : (int * PT.t) array; (* leaf offset into the corpus, tree *)
+  findings : BG.finding list; (* index order *)
+}
+
+let findings t = t.findings
+let corpus_size t = t.total
+let segment_count t = Array.length t.segments
+
+let corpus t =
+  if t.total = 0 then [||]
+  else
+    Array.concat
+      (Array.to_list (Array.map (fun (_, tree) -> PT.leaves tree) t.segments))
+
+let total_limbs t =
+  Array.fold_left (fun acc (_, tree) -> acc + PT.total_limbs tree) 0 t.segments
+
+let create ?pool ?domains ?(k = 1) moduli =
+  let segments, findings = BG.factor_subsets_trees ?pool ?domains ~k moduli in
+  { total = Array.length moduli; segments; findings }
+
+let extend ?pool ?domains t fresh =
+  let nf = Array.length fresh in
+  if nf = 0 then t
+  else if t.total = 0 then create ?pool ?domains ~k:1 fresh
+  else begin
+    let pool =
+      match pool with Some p -> p | None -> Pool.get ?domains ()
+    in
+    let tn = PT.build ~pool fresh in
+    let pn = PT.root tn in
+    (* The fresh tree is descended by every new-vs-old job plus its own
+       mod-square job, so its Barrett caches must be published before
+       the fan-out. Each old segment tree is touched by exactly one job
+       and fills its caches lazily on that worker (single-writer). *)
+    PT.precompute ~pool ~squares:true tn;
+    PT.precompute ~pool ~squares:false tn;
+    let nseg = Array.length t.segments in
+    (* Jobs, all independent:
+       [0, nseg)        delta product through old segment tree s;
+       [nseg, 2*nseg)   segment-s root through the fresh tree;
+       2*nseg           fresh root mod-square through the fresh tree
+                        (the new-vs-new pass, as in factor_batch). *)
+    let job i =
+      if i < nseg then (i, RT.remainders ~pool (snd t.segments.(i)) pn)
+      else if i < 2 * nseg then
+        (i, RT.remainders ~pool tn (PT.root (snd t.segments.(i - nseg))))
+      else
+        ( i,
+          Array.mapi
+            (fun l z -> BG.own_subset_component (PT.leaves tn).(l) z)
+            (RT.remainders_mod_square ~pool tn pn) )
+    in
+    let pieces = Pool.map ~pool job (Array.init ((2 * nseg) + 1) (fun i -> i)) in
+    (* Old moduli: gcd (m, d_old * (P mod m)) — exactly the divisor a
+       full recompute over the union yields (see the .mli lemma). *)
+    let prior = Array.make t.total N.one in
+    List.iter (fun f -> prior.(f.BG.index) <- f.BG.divisor) t.findings;
+    let divisors = Array.make (t.total + nf) N.one in
+    let acc_new = Array.make nf N.one in
+    Array.iter
+      (fun (i, rs) ->
+        if i < nseg then begin
+          let off, tree = t.segments.(i) in
+          let leaves = PT.leaves tree in
+          Array.iteri
+            (fun l c ->
+              let m = leaves.(l) in
+              divisors.(off + l) <- N.gcd m (N.rem (N.mul prior.(off + l) c) m))
+            rs
+        end
+        else
+          Array.iteri
+            (fun l c ->
+              let n = fresh.(l) in
+              acc_new.(l) <- N.rem (N.mul acc_new.(l) (N.rem c n)) n)
+            rs)
+      pieces;
+    Array.iteri (fun l n -> divisors.(t.total + l) <- N.gcd n acc_new.(l)) fresh;
+    let segments = Array.append t.segments [| (t.total, tn) |] in
+    let t' = { total = t.total + nf; segments; findings = [] } in
+    { t' with findings = BG.collect divisors (corpus t') }
+  end
+
+let factor_delta ?pool ?domains ~old_tree ~old_findings fresh =
+  let t =
+    {
+      total = Array.length (PT.leaves old_tree);
+      segments = [| (0, old_tree) |];
+      findings = old_findings;
+    }
+  in
+  (extend ?pool ?domains t fresh).findings
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint serialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+let magic = "weakkeys-incremental/1"
+
+let save oc t =
+  Io.write_string oc magic;
+  Io.write_int oc t.total;
+  Io.write_int oc (Array.length t.segments);
+  Array.iter
+    (fun (off, tree) ->
+      Io.write_int oc off;
+      Io.write_int oc (PT.depth tree);
+      for k = 0 to PT.depth tree - 1 do
+        let lvl = PT.level tree k in
+        Io.write_int oc (Array.length lvl);
+        Array.iter (Io.write_nat oc) lvl
+      done)
+    t.segments;
+  Io.write_int oc (List.length t.findings);
+  List.iter
+    (fun f ->
+      Io.write_int oc f.BG.index;
+      Io.write_nat oc f.BG.modulus;
+      Io.write_nat oc f.BG.divisor)
+    t.findings
+
+let load ic =
+  let m = Io.read_string ic in
+  if not (String.equal m magic) then
+    raise (Io.Corrupt "not an incremental-GCD checkpoint");
+  let total = Io.read_int ic in
+  let nseg = Io.read_int ic in
+  let segments = Array.make nseg (0, PT.build [| N.one |]) in
+  let expected_off = ref 0 in
+  for s = 0 to nseg - 1 do
+    let off = Io.read_int ic in
+    if off <> !expected_off then raise (Io.Corrupt "segment offsets disagree");
+    let depth = Io.read_int ic in
+    if depth = 0 then raise (Io.Corrupt "segment with no levels");
+    let levels = Array.make depth [||] in
+    for k = 0 to depth - 1 do
+      let n = Io.read_int ic in
+      let lvl = Array.make n N.zero in
+      for i = 0 to n - 1 do
+        lvl.(i) <- Io.read_nat ic
+      done;
+      levels.(k) <- lvl
+    done;
+    let tree =
+      try PT.of_levels levels
+      with Invalid_argument msg -> raise (Io.Corrupt msg)
+    in
+    expected_off := !expected_off + Array.length (PT.leaves tree);
+    segments.(s) <- (off, tree)
+  done;
+  if !expected_off <> total then
+    raise (Io.Corrupt "corpus size disagrees with segment leaves");
+  let nf = Io.read_int ic in
+  let findings = ref [] in
+  for _ = 1 to nf do
+    let index = Io.read_int ic in
+    if index < 0 || index >= total then
+      raise (Io.Corrupt "finding index out of corpus range");
+    let modulus = Io.read_nat ic in
+    let divisor = Io.read_nat ic in
+    findings := { BG.index; modulus; divisor } :: !findings
+  done;
+  { total; segments; findings = List.rev !findings }

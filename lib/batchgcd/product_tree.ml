@@ -54,6 +54,23 @@ let build ?pool inputs =
   let d = Array.length levels in
   { levels; sq_pre = Array.make d None; node_pre = Array.make d None }
 
+(* Reconstruct a tree from serialized levels (checkpoint restore).
+   Only the shape is validated — the node values are trusted to be the
+   products they claim to be, exactly as [build] trusts its inputs.
+   Precomp caches start empty and refill lazily or via [precompute]. *)
+let of_levels levels =
+  let d = Array.length levels in
+  if d = 0 then invalid_arg "Product_tree.of_levels: no levels";
+  if Array.length levels.(d - 1) <> 1 then
+    invalid_arg "Product_tree.of_levels: top level must hold one node";
+  for k = 0 to d - 2 do
+    let n = Array.length levels.(k) in
+    if n = 0 then invalid_arg "Product_tree.of_levels: empty level";
+    if Array.length levels.(k + 1) <> (n + 1) / 2 then
+      invalid_arg "Product_tree.of_levels: level sizes do not halve"
+  done;
+  { levels; sq_pre = Array.make d None; node_pre = Array.make d None }
+
 let leaves t = t.levels.(0)
 let depth t = Array.length t.levels
 let root t = t.levels.(depth t - 1).(0)

@@ -12,6 +12,14 @@ val build : ?pool:Parallel.Pool.t -> Bignum.Nat.t array -> t
     where a single giant multiply dominates — stay serial.
     @raise Invalid_argument on an empty input or a zero modulus. *)
 
+val of_levels : Bignum.Nat.t array array -> t
+(** Rebuild a tree from its levels (leaves first, root last), as
+    produced by iterating {!level} — the checkpoint-restore path in
+    {!Incremental}. Validates the shape (each level half the size of
+    the one below, a single root) but trusts the node values; precomp
+    caches start empty.
+    @raise Invalid_argument on a malformed shape. *)
+
 val leaves : t -> Bignum.Nat.t array
 (** The inputs, in order (not a copy). *)
 

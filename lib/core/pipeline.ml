@@ -2,7 +2,10 @@ module N = Bignum.Nat
 module Sc = Netsim.Scanner
 module Cert = X509lite.Certificate
 module BG = Batchgcd.Batch_gcd
+module Inc = Batchgcd.Incremental
 module Fp = Fingerprint.Factored
+module Store = Corpus.Store
+module Id_set = Corpus.Id_set
 
 type t = {
   world : Netsim.World.t;
@@ -10,19 +13,22 @@ type t = {
   monthly : Sc.scan list;
   protocol_snapshots : Sc.protocol_snapshot list;
   https_moduli : N.t array;
+  store : Store.t;
   corpus : N.t array;
+  inc : Inc.t;
   findings : BG.finding list;
   factored : Fp.t list;
   unrecovered : N.t list;
   cliques : Fingerprint.Ibm_clique.clique list;
   shared : Fingerprint.Shared_prime.t;
   rimon : Fingerprint.Rimon.detection list;
-  vuln_index : (int array, unit) Hashtbl.t;
+  vuln_index : Id_set.t;
   cert_label_index : (string, Fingerprint.Rules.label option) Hashtbl.t;
-  subject_label_index : (int array, string) Hashtbl.t;
-  factored_index : (int array, Fingerprint.Factored.t) Hashtbl.t;
-  clique_index : (int array, unit) Hashtbl.t;
+  subject_label_index : string option array;
+  factored_index : Fp.t option array;
+  clique_index : Id_set.t;
   fp_cache : (Cert.t, string) Hashtbl.t;
+  timings : Stage.timing list;
 }
 
 let modulus_of_record (r : Sc.host_record) =
@@ -41,11 +47,6 @@ let cert_fingerprint cache c =
     let fp = Cert.fingerprint c in
     Hashtbl.replace cache c fp;
     fp
-
-let limb_set moduli =
-  let tbl = Hashtbl.create (List.length moduli * 2) in
-  List.iter (fun m -> Hashtbl.replace tbl (N.to_limbs m) ()) moduli;
-  tbl
 
 (* Subject/content labels per distinct certificate fingerprint. *)
 let build_cert_labels fp_cache scans =
@@ -67,12 +68,25 @@ let build_cert_labels fp_cache scans =
     scans;
   labels
 
-(* Majority subject label per modulus, from the certificates that
-   carry it. *)
-let build_modulus_subject_labels fp_cache scans cert_labels =
-  let votes : (int array, (string, int) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 4096
+(* Majority winner; ties broken by vendor name (lexicographically
+   smallest wins) so the result does not depend on tally iteration
+   order — Hashtbl.fold order used to decide ties here. *)
+let majority_vendor votes =
+  let best =
+    List.fold_left
+      (fun acc (v, c) ->
+        match acc with
+        | Some (v', c') when c' > c || (c' = c && String.compare v' v <= 0) ->
+          acc
+        | _ -> Some (v, c))
+      None votes
   in
+  Option.map fst best
+
+(* Majority subject label per modulus id, from the certificates that
+   carry the modulus. *)
+let build_modulus_subject_labels fp_cache store scans cert_labels =
+  let votes : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 4096 in
   List.iter
     (fun (s : Sc.scan) ->
       Array.iter
@@ -80,13 +94,13 @@ let build_modulus_subject_labels fp_cache scans cert_labels =
           let fp = cert_fingerprint fp_cache r.Sc.cert in
           match Hashtbl.find_opt cert_labels fp with
           | Some (Some { Fingerprint.Rules.vendor; _ }) ->
-            let k = N.to_limbs (modulus_of_record r) in
+            let id = Store.intern store (modulus_of_record r) in
             let tally =
-              match Hashtbl.find_opt votes k with
+              match Hashtbl.find_opt votes id with
               | Some t -> t
               | None ->
                 let t = Hashtbl.create 4 in
-                Hashtbl.replace votes k t;
+                Hashtbl.replace votes id t;
                 t
             in
             Hashtbl.replace tally vendor
@@ -94,82 +108,129 @@ let build_modulus_subject_labels fp_cache scans cert_labels =
           | _ -> ())
         s.Sc.records)
     scans;
-  let best = Hashtbl.create 4096 in
+  let best : (int, string) Hashtbl.t = Hashtbl.create 4096 in
   Hashtbl.iter
-    (fun k tally ->
-      let winner =
-        Hashtbl.fold
-          (fun v c acc ->
-            match acc with Some (_, c') when c' >= c -> acc | _ -> Some (v, c))
-          tally None
-      in
-      match winner with
-      | Some (v, _) -> Hashtbl.replace best k v
+    (fun id tally ->
+      let ballot = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tally [] in
+      match majority_vendor ballot with
+      | Some v -> Hashtbl.replace best id v
       | None -> ())
     votes;
   best
 
-let of_world ?(progress = fun _ -> ()) ?(k = 16) ?domains world =
-  progress "running scan campaigns";
-  let scans = Sc.run_all world in
-  let monthly = Analysis.Dataset.representative_monthly scans in
-  let protocol_snapshots = Sc.protocol_snapshots world in
-  progress "assembling key corpus";
+(* ------------------------------------------------------------------ *)
+(* Stages                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let intern_all store moduli =
+  Array.iter (fun m -> ignore (Store.intern store m)) moduli
+
+(* Corpus assembly: HTTPS moduli in first-observation order, then the
+   other protocols' — the same order the pre-interning corpus used, so
+   batch-GCD finding indexes are store ids. *)
+let stage_intern store scans protocol_snapshots =
   let https_moduli = Analysis.Dataset.distinct_moduli scans in
-  let other_moduli =
-    List.concat_map
-      (fun (p : Sc.protocol_snapshot) ->
-        if p.Sc.protocol = Sc.Https then []
-        else Array.to_list p.Sc.rsa_moduli)
-      protocol_snapshots
-  in
-  let corpus =
-    BG.dedup (Array.append https_moduli (Array.of_list other_moduli))
-  in
-  (* One persistent pool for the whole pipeline run; [domains] sizes
-     it, defaulting to the hardware (or WEAKKEYS_DOMAINS). *)
-  let pool = Parallel.Pool.get ?domains () in
-  progress
-    (Printf.sprintf "batch GCD over %d distinct moduli (k=%d, %d domains)"
-       (Array.length corpus) k (Parallel.Pool.size pool));
-  let findings = BG.factor_subsets ~pool ~k corpus in
-  progress (Printf.sprintf "%d moduli factored" (List.length findings));
+  intern_all store https_moduli;
+  List.iter
+    (fun (p : Sc.protocol_snapshot) ->
+      if p.Sc.protocol <> Sc.Https then intern_all store p.Sc.rsa_moduli)
+    protocol_snapshots;
+  https_moduli
+
+(* Checkpoint key: the GCD artifact is valid only for the exact corpus
+   (content and order) and driver parameters that produced it. *)
+let corpus_key corpus tag =
+  let buf = Buffer.create 65536 in
+  Array.iter
+    (fun m ->
+      let b = N.to_bytes_be m in
+      Buffer.add_string buf (string_of_int (String.length b));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf b)
+    corpus;
+  Buffer.add_string buf tag;
+  Hashes.Sha256.hexdigest (Buffer.contents buf)
+
+let stage_fingerprint findings =
   let factored, unrecovered = Fp.recover findings in
   let cliques = Fingerprint.Ibm_clique.detect factored in
-  progress "fingerprinting implementations";
-  let fp_cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536 in
+  (factored, unrecovered, cliques)
+
+let stage_label fp_cache store scans cliques factored =
   let cert_labels = build_cert_labels fp_cache scans in
   let subject_labels =
-    build_modulus_subject_labels fp_cache scans cert_labels
+    build_modulus_subject_labels fp_cache store scans cert_labels
   in
   (* Clique moduli with no subject label are IBM (prior knowledge from
      the 2012 study: the nine-prime implementation is the IBM card). *)
-  let clique_members = limb_set (List.concat_map (fun c -> c.Fingerprint.Ibm_clique.moduli) cliques) in
+  let clique_index = Id_set.create ~size:(Store.size store) () in
+  List.iter
+    (fun (c : Fingerprint.Ibm_clique.clique) ->
+      List.iter
+        (fun m ->
+          match Store.find store m with
+          | Some id -> Id_set.add clique_index id
+          | None -> ())
+        c.Fingerprint.Ibm_clique.moduli)
+    cliques;
   let entry (f : Fp.t) =
-    let key = N.to_limbs f.Fp.modulus in
     let label =
-      match Hashtbl.find_opt subject_labels key with
-      | Some v -> Some v
-      | None -> if Hashtbl.mem clique_members key then Some "IBM" else None
+      match Store.find store f.Fp.modulus with
+      | None -> None
+      | Some id -> (
+        match Hashtbl.find_opt subject_labels id with
+        | Some v -> Some v
+        | None -> if Id_set.mem clique_index id then Some "IBM" else None)
     in
     (f, label)
   in
-  let entries = List.map entry factored in
-  let shared = Fingerprint.Shared_prime.build entries in
+  let shared = Fingerprint.Shared_prime.build (List.map entry factored) in
   let rimon = Fingerprint.Rimon.detect scans in
-  let vuln_index = limb_set (List.map (fun f -> f.BG.modulus) findings) in
-  let factored_index = Hashtbl.create 1024 in
+  (cert_labels, subject_labels, clique_index, shared, rimon)
+
+(* Findings carry corpus indexes, and corpus order is store insertion
+   order, so a finding's index is its store id directly. *)
+let stage_index store findings subject_labels factored =
+  let n = Store.size store in
+  let vuln_index = Id_set.create ~size:n () in
+  List.iter (fun (f : BG.finding) -> Id_set.add vuln_index f.BG.index) findings;
+  let subject_label_index = Array.make n None in
+  Hashtbl.iter (fun id v -> subject_label_index.(id) <- Some v) subject_labels;
+  let factored_index = Array.make n None in
   List.iter
     (fun (f : Fp.t) ->
-      Hashtbl.replace factored_index (N.to_limbs f.Fp.modulus) f)
+      match Store.find store f.Fp.modulus with
+      | Some id -> factored_index.(id) <- Some f
+      | None -> ())
     factored;
+  (vuln_index, subject_label_index, factored_index)
+
+(* Downstream of the GCD artifact, of_scans and extend are identical:
+   fingerprint, label and index over the current corpus. *)
+let finish sctx world scans monthly protocol_snapshots https_moduli store
+    corpus inc =
+  let findings = Inc.findings inc in
+  let factored, unrecovered, cliques =
+    Stage.run sctx "fingerprint" (fun () -> stage_fingerprint findings)
+  in
+  let fp_cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536 in
+  let cert_labels, subject_labels, clique_index, shared, rimon =
+    Stage.run sctx "label" (fun () ->
+        stage_label fp_cache store scans cliques factored)
+  in
+  let vuln_index, subject_label_index, factored_index =
+    Stage.run sctx "index" (fun () ->
+        stage_index store findings subject_labels factored)
+  in
   {
     world;
     scans;
     monthly;
     protocol_snapshots;
     https_moduli;
+    store;
     corpus;
+    inc;
     findings;
     factored;
     unrecovered;
@@ -178,34 +239,114 @@ let of_world ?(progress = fun _ -> ()) ?(k = 16) ?domains world =
     rimon;
     vuln_index;
     cert_label_index = cert_labels;
-    subject_label_index = subject_labels;
+    subject_label_index;
     factored_index;
-    clique_index = clique_members;
+    clique_index;
     fp_cache;
+    timings = Stage.timings sctx;
   }
 
-let run ?progress ?k ?domains config =
+let of_scans ?progress ?(k = 16) ?domains ?checkpoint_dir world scans =
+  let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
+  let say = match progress with Some f -> f | None -> fun _ -> () in
+  let monthly, protocol_snapshots =
+    Stage.run sctx "scan" (fun () ->
+        ( Analysis.Dataset.representative_monthly scans,
+          Sc.protocol_snapshots world ))
+  in
+  let store = Store.create ~size:4096 () in
+  let https_moduli =
+    Stage.run sctx "intern" (fun () ->
+        stage_intern store scans protocol_snapshots)
+  in
+  let corpus = Store.to_array store in
+  (* One persistent pool for the whole pipeline run; [domains] sizes
+     it, defaulting to the hardware (or WEAKKEYS_DOMAINS). *)
+  let pool = Parallel.Pool.get ?domains () in
+  say
+    (Printf.sprintf "batch GCD over %d distinct moduli (k=%d, %d domains)"
+       (Array.length corpus) k (Parallel.Pool.size pool));
+  let inc =
+    Stage.run_cached sctx "batchgcd"
+      ~key:(corpus_key corpus (Printf.sprintf "/k=%d" k))
+      ~save:Inc.save ~load:Inc.load
+      (fun () -> Inc.create ~pool ~k corpus)
+  in
+  say (Printf.sprintf "%d moduli factored" (List.length (Inc.findings inc)));
+  finish sctx world scans monthly protocol_snapshots https_moduli store corpus
+    inc
+
+let of_world ?progress ?k ?domains ?checkpoint_dir world =
+  (match progress with Some f -> f "running scan campaigns" | None -> ());
+  let scans = Sc.run_all world in
+  of_scans ?progress ?k ?domains ?checkpoint_dir world scans
+
+let run ?progress ?k ?domains ?checkpoint_dir config =
   let world = Netsim.World.build ?progress config in
-  of_world ?progress ?k ?domains world
+  of_world ?progress ?k ?domains ?checkpoint_dir world
+
+let extend ?progress ?domains ?checkpoint_dir t new_scans =
+  let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
+  let scans, monthly =
+    Stage.run sctx "scan" (fun () ->
+        let scans = List.concat [ t.scans; new_scans ] in
+        (scans, Analysis.Dataset.representative_monthly scans))
+  in
+  (* A fresh store seeded with the old corpus (same ids), so the input
+     pipeline value stays fully usable after this call. *)
+  let store = Store.create ~size:(2 * Array.length t.corpus) () in
+  intern_all store t.corpus;
+  let https_moduli, fresh =
+    Stage.run sctx "intern" (fun () ->
+        let https = Analysis.Dataset.distinct_moduli scans in
+        let before = Store.size store in
+        let fresh = ref [] in
+        Array.iter
+          (fun m -> if Store.intern store m >= before then fresh := m :: !fresh)
+          https;
+        (https, Array.of_list (List.rev !fresh)))
+  in
+  let corpus = Store.to_array store in
+  let pool = Parallel.Pool.get ?domains () in
+  (match progress with
+   | Some f ->
+     f
+       (Printf.sprintf "delta batch GCD: %d new moduli against %d cached"
+          (Array.length fresh) (Inc.corpus_size t.inc))
+   | None -> ());
+  let inc =
+    Stage.run_cached sctx "batchgcd"
+      ~key:(corpus_key corpus "/extend")
+      ~save:Inc.save ~load:Inc.load
+      (fun () -> Inc.extend ~pool t.inc fresh)
+  in
+  finish sctx t.world scans monthly t.protocol_snapshots https_moduli store
+    corpus inc
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let is_vulnerable t n = Hashtbl.mem t.vuln_index (N.to_limbs n)
+let id_of t n = Store.find t.store n
+
+let is_vulnerable t n =
+  match id_of t n with
+  | Some id -> Id_set.mem t.vuln_index id
+  | None -> false
 
 let vendor_of_record t (r : Sc.host_record) =
   let fp = cert_fingerprint t.fp_cache r.Sc.cert in
   match Hashtbl.find_opt t.cert_label_index fp with
   | Some (Some { Fingerprint.Rules.vendor; _ }) -> Some vendor
-  | _ -> begin
-    let key = N.to_limbs (modulus_of_record r) in
-    if Hashtbl.mem t.clique_index key then Some "IBM"
-    else
-      match Hashtbl.find_opt t.factored_index key with
-      | Some f -> Fingerprint.Shared_prime.label_modulus t.shared f
-      | None -> None
-  end
+  | _ -> (
+    match id_of t (modulus_of_record r) with
+    | None -> None
+    | Some id ->
+      if Id_set.mem t.clique_index id then Some "IBM"
+      else (
+        match t.factored_index.(id) with
+        | Some f -> Fingerprint.Shared_prime.label_modulus t.shared f
+        | None -> None))
 
 let model_of_record t (r : Sc.host_record) =
   let fp = cert_fingerprint t.fp_cache r.Sc.cert in
@@ -248,13 +389,15 @@ let vulnerable_by_protocol t =
 let labeled_factored t =
   List.map
     (fun (f : Fp.t) ->
-      let key = N.to_limbs f.Fp.modulus in
       let label =
-        match Hashtbl.find_opt t.subject_label_index key with
-        | Some v -> Some v
-        | None ->
-          if Hashtbl.mem t.clique_index key then Some "IBM"
-          else Fingerprint.Shared_prime.label_modulus t.shared f
+        match id_of t f.Fp.modulus with
+        | None -> None
+        | Some id -> (
+          match t.subject_label_index.(id) with
+          | Some v -> Some v
+          | None ->
+            if Id_set.mem t.clique_index id then Some "IBM"
+            else Fingerprint.Shared_prime.label_modulus t.shared f)
       in
       (f, label))
     t.factored

@@ -1,7 +1,16 @@
 (** The end-to-end study: simulate the internet, aggregate six years of
     scans, batch-GCD the full key corpus, fingerprint implementations,
     and expose labeled, queryable results. This is the library's main
-    entry point; {!Report} renders every table and figure from it. *)
+    entry point; {!Report} renders every table and figure from it.
+
+    The pipeline is a chain of named stages
+    (scan → intern → batchgcd → fingerprint → label → index) run
+    through the {!Stage} graph runner: every distinct modulus is
+    interned to a dense id in a {!Corpus.Store} and downstream indexes
+    are id-keyed arrays and bitsets; the expensive GCD stage keeps its
+    product-tree forest ({!Batchgcd.Incremental.t}) and can checkpoint
+    it to disk; {!extend} folds a fresh scan snapshot into an existing
+    pipeline paying only for the delta. *)
 
 type t = {
   world : Netsim.World.t;
@@ -10,8 +19,14 @@ type t = {
       (** one representative, chain-excluded scan per month *)
   protocol_snapshots : Netsim.Scanner.protocol_snapshot list;
   https_moduli : Bignum.Nat.t array;  (** distinct, from HTTPS scans *)
+  store : Corpus.Store.t;
+      (** modulus → dense id; ids are corpus positions *)
   corpus : Bignum.Nat.t array;
-      (** distinct moduli fed to batch GCD: HTTPS + SSH + mail *)
+      (** distinct moduli fed to batch GCD (HTTPS + SSH + mail), in
+          store-id order: [corpus.(id)] is the modulus with that id *)
+  inc : Batchgcd.Incremental.t;
+      (** cached GCD state: segment forest + findings; feed to
+          {!extend} or serialize via {!Batchgcd.Incremental.save} *)
   findings : Batchgcd.Batch_gcd.finding list;
   factored : Fingerprint.Factored.t list;
   unrecovered : Bignum.Nat.t list;
@@ -19,21 +34,24 @@ type t = {
   cliques : Fingerprint.Ibm_clique.clique list;
   shared : Fingerprint.Shared_prime.t;
   rimon : Fingerprint.Rimon.detection list;
-  (* Precomputed indexes (caches; use the query functions below). *)
-  vuln_index : (int array, unit) Hashtbl.t;
+  (* Precomputed id-keyed indexes (caches; use the query functions
+     below). *)
+  vuln_index : Corpus.Id_set.t;
   cert_label_index : (string, Fingerprint.Rules.label option) Hashtbl.t;
-  subject_label_index : (int array, string) Hashtbl.t;
-  factored_index : (int array, Fingerprint.Factored.t) Hashtbl.t;
-  clique_index : (int array, unit) Hashtbl.t;
+  subject_label_index : string option array;  (** per store id *)
+  factored_index : Fingerprint.Factored.t option array;  (** per store id *)
+  clique_index : Corpus.Id_set.t;
   fp_cache : (X509lite.Certificate.t, string) Hashtbl.t;
       (** per-run certificate-fingerprint memo; bounded by this run's
           certificate population, unlike the former process global *)
+  timings : Stage.timing list;  (** per-stage wall clock, in order *)
 }
 
 val run :
   ?progress:(string -> unit) ->
   ?k:int ->
   ?domains:int ->
+  ?checkpoint_dir:string ->
   Netsim.World.config -> t
 (** Build the world and run the whole measurement pipeline. [k] is the
     subset count for the distributed batch GCD (default 16, the
@@ -41,12 +59,35 @@ val run :
     persistent {!Parallel.Pool} used for key generation, the k-subset
     fan-out and the level-parallel tree kernels (default: the
     hardware's recommended domain count, overridable via the
-    [WEAKKEYS_DOMAINS] environment variable). *)
+    [WEAKKEYS_DOMAINS] environment variable). [checkpoint_dir] enables
+    checkpoint/resume for the GCD stage: the finished
+    {!Batchgcd.Incremental} state is written there, and a rerun over
+    the identical corpus restores it instead of recomputing. *)
 
 val of_world :
   ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
+  ?checkpoint_dir:string ->
   Netsim.World.t -> t
 (** Same, reusing an already-built world. *)
+
+val of_scans :
+  ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
+  ?checkpoint_dir:string ->
+  Netsim.World.t -> Netsim.Scanner.scan list -> t
+(** Same, from an explicit scan list (the snapshot-ingest entry point:
+    pair with {!extend} to fold in later snapshots). *)
+
+val extend :
+  ?progress:(string -> unit) -> ?domains:int ->
+  ?checkpoint_dir:string ->
+  t -> Netsim.Scanner.scan list -> t
+(** [extend t new_scans] folds a fresh batch of scans into the
+    pipeline: new distinct moduli are interned after the existing ids,
+    the cached product-tree forest is extended with one delta tree
+    ({!Batchgcd.Incremental.extend} — no old tree is rebuilt), and the
+    fingerprint/label/index stages rerun over the combined corpus.
+    Findings are exactly those of a from-scratch run over the union.
+    [t] itself is not mutated and remains usable. *)
 
 (** {1 Queries} *)
 
@@ -75,3 +116,8 @@ val labeled_factored :
 
 val suspected_bit_errors : t -> Bignum.Nat.t list
 (** Flagged moduli that are not well-formed RSA moduli. *)
+
+val majority_vendor : (string * int) list -> string option
+(** Winner of a vendor vote tally: highest count, ties broken by the
+    lexicographically smallest vendor name — deterministic no matter
+    the ballot order. Exposed for the tie-break regression test. *)

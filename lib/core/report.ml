@@ -1,4 +1,3 @@
-module N = Bignum.Nat
 module Sc = Netsim.Scanner
 module Date = X509lite.Date
 module Ts = Analysis.Timeseries
@@ -361,11 +360,7 @@ let rimon_section t =
 
 let bit_error_section t =
   let suspects = Pipeline.suspected_bit_errors t in
-  let corpus_set = Hashtbl.create 4096 in
-  Array.iter
-    (fun m -> Hashtbl.replace corpus_set (N.to_limbs m) ())
-    t.Pipeline.corpus;
-  let known n = Hashtbl.mem corpus_set (N.to_limbs n) in
+  let known n = Corpus.Store.mem t.Pipeline.store n in
   let with_neighbor =
     List.filter
       (fun n -> Fingerprint.Bit_errors.bitflip_neighbor ~known n <> None)

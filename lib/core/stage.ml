@@ -1,0 +1,70 @@
+type timing = { stage : string; seconds : float; restored : bool }
+
+type ctx = {
+  progress : string -> unit;
+  dir : string option;
+  mutable timings : timing list; (* reverse execution order *)
+}
+
+let ctx ?(progress = fun _ -> ()) ?dir () = { progress; dir; timings = [] }
+let timings ctx = List.rev ctx.timings
+
+let record ctx stage seconds restored =
+  ctx.timings <- { stage; seconds; restored } :: ctx.timings;
+  ctx.progress
+    (Printf.sprintf "stage %-12s %s%.2fs" stage
+       (if restored then "restored from checkpoint in " else "")
+       seconds)
+
+let run ctx name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  record ctx name (Unix.gettimeofday () -. t0) false;
+  v
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Restore attempt: [None] on any miss — no file, key mismatch, or a
+   truncated/corrupt record (a crash mid-write leaves only the .tmp
+   behind, but defend anyway). *)
+let restore path ~key ~load =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          if String.equal (Corpus.Io.read_string ic) key then Some (load ic)
+          else None
+        with Corpus.Io.Corrupt _ | End_of_file -> None)
+  end
+
+let run_cached ctx name ~key ~save ~load f =
+  match ctx.dir with
+  | None -> run ctx name f
+  | Some dir ->
+    let path = Filename.concat dir (name ^ ".ckpt") in
+    let t0 = Unix.gettimeofday () in
+    (match restore path ~key ~load with
+     | Some v ->
+       record ctx name (Unix.gettimeofday () -. t0) true;
+       v
+     | None ->
+       let v = f () in
+       mkdir_p dir;
+       let tmp = path ^ ".tmp" in
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out oc)
+         (fun () ->
+           Corpus.Io.write_string oc key;
+           save oc v);
+       Sys.rename tmp path;
+       record ctx name (Unix.gettimeofday () -. t0) false;
+       v)

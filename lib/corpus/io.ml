@@ -1,0 +1,24 @@
+module N = Bignum.Nat
+
+exception Corrupt of string
+
+let write_int oc n =
+  if n < 0 || n > 0x3FFFFFFF then invalid_arg "Corpus.Io.write_int: out of range";
+  output_binary_int oc n
+
+let read_int ic =
+  let n = input_binary_int ic in
+  if n < 0 then raise (Corrupt "negative length field");
+  n
+
+let write_string oc s =
+  write_int oc (String.length s);
+  output_string oc s
+
+let read_string ic =
+  let len = read_int ic in
+  try really_input_string ic len
+  with End_of_file -> raise (Corrupt "truncated string record")
+
+let write_nat oc n = write_string oc (N.to_bytes_be n)
+let read_nat ic = N.of_bytes_be (read_string ic)

@@ -1,0 +1,23 @@
+(** Binary channel serialization helpers for checkpoint files.
+
+    Minimal length-prefixed encodings shared by the incremental-GCD
+    checkpoint ({!Batchgcd.Incremental}) and the stage runner
+    ([Weakkeys.Stage]). All integers are written with
+    [output_binary_int] (big-endian 32-bit), bignums as
+    length-prefixed big-endian bytes. Readers raise {!Corrupt} on any
+    malformed record rather than returning garbage. *)
+
+exception Corrupt of string
+
+val write_int : out_channel -> int -> unit
+(** @raise Invalid_argument outside the 32-bit non-negative range. *)
+
+val read_int : in_channel -> int
+(** @raise Corrupt on a negative value (truncated / not ours).
+    @raise End_of_file at end of channel. *)
+
+val write_string : out_channel -> string -> unit
+val read_string : in_channel -> string
+
+val write_nat : out_channel -> Bignum.Nat.t -> unit
+val read_nat : in_channel -> Bignum.Nat.t

@@ -1,0 +1,52 @@
+module N = Bignum.Nat
+
+module H = Hashtbl.Make (struct
+  type t = N.t
+
+  let equal = N.equal
+  let hash = N.hash
+end)
+
+type t = {
+  ids : int H.t;
+  mutable values : N.t array; (* dense id -> value; slots >= count unused *)
+  mutable count : int;
+}
+
+let create ?(size = 64) () =
+  { ids = H.create size; values = Array.make (Stdlib.max size 1) N.zero; count = 0 }
+
+let size t = t.count
+
+let grow t =
+  let cap = Array.length t.values in
+  if t.count = cap then begin
+    let values = Array.make (2 * cap) N.zero in
+    Array.blit t.values 0 values 0 cap;
+    t.values <- values
+  end
+
+let intern t n =
+  match H.find_opt t.ids n with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      grow t;
+      t.values.(id) <- n;
+      t.count <- id + 1;
+      H.add t.ids n id;
+      id
+
+let find t n = H.find_opt t.ids n
+let mem t n = H.mem t.ids n
+
+let get t id =
+  if id < 0 || id >= t.count then invalid_arg "Corpus.Store.get: id out of range";
+  t.values.(id)
+
+let to_array t = Array.sub t.values 0 t.count
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id t.values.(id)
+  done

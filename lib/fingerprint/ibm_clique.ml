@@ -1,51 +1,53 @@
 module N = Bignum.Nat
+module Store = Corpus.Store
 
 type clique = { primes : N.t list; moduli : N.t list }
 
-(* Union-find over primes; each factored modulus unions its two
-   primes. A component is a tiny-pool clique when several moduli have
-   BOTH primes shared with other component members — in the shared-
-   first-prime pattern every modulus owns a fresh second prime, so no
-   modulus has both primes shared. *)
+(* Union-find over interned prime ids; each factored modulus unions
+   its two primes. A component is a tiny-pool clique when several
+   moduli have BOTH primes shared with other component members — in
+   the shared-first-prime pattern every modulus owns a fresh second
+   prime, so no modulus has both primes shared. *)
 let detect ?(min_moduli = 3) (factored : Factored.t list) =
-  let parent = Hashtbl.create 256 in
+  let primes = Store.create ~size:256 () in
+  List.iter
+    (fun (f : Factored.t) ->
+      ignore (Store.intern primes f.Factored.p);
+      ignore (Store.intern primes f.Factored.q))
+    factored;
+  let n = Store.size primes in
+  let parent = Array.init n (fun i -> i) in
   let rec find k =
-    match Hashtbl.find_opt parent k with
-    | None ->
-      Hashtbl.replace parent k k;
-      k
-    | Some p when p = k -> k
-    | Some p ->
-      let root = find p in
-      Hashtbl.replace parent k root;
+    if parent.(k) = k then k
+    else begin
+      let root = find parent.(k) in
+      parent.(k) <- root;
       root
+    end
   in
   let union a b =
     let ra = find a and rb = find b in
-    if ra <> rb then Hashtbl.replace parent ra rb
+    if ra <> rb then parent.(ra) <- rb
   in
   (* Count, per prime, how many factored moduli use it. *)
-  let usage = Hashtbl.create 256 in
-  let bump p =
-    let k = N.to_limbs p in
-    Hashtbl.replace usage k
-      (1 + Option.value ~default:0 (Hashtbl.find_opt usage k))
-  in
+  let usage = Array.make (Stdlib.max 1 n) 0 in
   List.iter
     (fun (f : Factored.t) ->
-      union (N.to_limbs f.Factored.p) (N.to_limbs f.Factored.q);
-      bump f.Factored.p;
-      bump f.Factored.q)
+      let ip = Store.intern primes f.Factored.p in
+      let iq = Store.intern primes f.Factored.q in
+      union ip iq;
+      usage.(ip) <- usage.(ip) + 1;
+      usage.(iq) <- usage.(iq) + 1)
     factored;
-  let shared p =
-    Option.value ~default:0 (Hashtbl.find_opt usage (N.to_limbs p)) >= 2
-  in
-  (* Collect, per component, the moduli with both primes shared. *)
-  let members = Hashtbl.create 64 in
+  let shared id = usage.(id) >= 2 in
+  (* Collect, per component root, the moduli with both primes shared. *)
+  let members : (int, Factored.t list) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun (f : Factored.t) ->
-      if shared f.Factored.p && shared f.Factored.q then begin
-        let root = find (N.to_limbs f.Factored.p) in
+      let ip = Store.intern primes f.Factored.p in
+      let iq = Store.intern primes f.Factored.q in
+      if shared ip && shared iq then begin
+        let root = find ip in
         Hashtbl.replace members root
           (f :: Option.value ~default:[] (Hashtbl.find_opt members root))
       end)
@@ -59,7 +61,9 @@ let detect ?(min_moduli = 3) (factored : Factored.t list) =
       if List.length moduli >= min_moduli then begin
         let primes =
           List.sort_uniq N.compare
-            (List.concat_map (fun (f : Factored.t) -> [ f.Factored.p; f.Factored.q ]) fs)
+            (List.concat_map
+               (fun (f : Factored.t) -> [ f.Factored.p; f.Factored.q ])
+               fs)
         in
         cliques := { primes; moduli } :: !cliques
       end)

@@ -10,7 +10,8 @@ type detection = {
 }
 
 let detect ?(min_ips = 10) scans =
-  let by_modulus : (int array, Sc.host_record list) Hashtbl.t =
+  let store = Corpus.Store.create ~size:4096 () in
+  let by_modulus : (int, Sc.host_record list) Hashtbl.t =
     Hashtbl.create 4096
   in
   List.iter
@@ -18,15 +19,17 @@ let detect ?(min_ips = 10) scans =
       Array.iter
         (fun (r : Sc.host_record) ->
           if not r.Sc.is_intermediate then begin
-            let k = N.to_limbs r.Sc.cert.Cert.public_key.Rsa.Keypair.n in
-            Hashtbl.replace by_modulus k
-              (r :: Option.value ~default:[] (Hashtbl.find_opt by_modulus k))
+            let id =
+              Corpus.Store.intern store r.Sc.cert.Cert.public_key.Rsa.Keypair.n
+            in
+            Hashtbl.replace by_modulus id
+              (r :: Option.value ~default:[] (Hashtbl.find_opt by_modulus id))
           end)
         s.Sc.records)
     scans;
   let out = ref [] in
   Hashtbl.iter
-    (fun limbs records ->
+    (fun id records ->
       let ips =
         List.sort_uniq Netsim.Ipv4.compare (List.map (fun r -> r.Sc.ip) records)
       in
@@ -53,7 +56,7 @@ let detect ?(min_ips = 10) scans =
           if frac > 0.5 then
             out :=
               {
-                modulus = N.of_limbs limbs;
+                modulus = Corpus.Store.get store id;
                 ips;
                 distinct_subjects = List.length subjects;
                 invalid_signature_fraction = frac;

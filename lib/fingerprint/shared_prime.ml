@@ -1,12 +1,24 @@
-module N = Bignum.Nat
+module Store = Corpus.Store
 
 type t = {
   entries : (Factored.t * string option) list;
-  pools : (int array, string list) Hashtbl.t; (* prime limbs -> vendors *)
+  primes : Store.t; (* prime -> dense id *)
+  pools : string list array; (* prime id -> vendors *)
 }
 
 let build entries =
-  let pools = Hashtbl.create 1024 in
+  (* Intern every prime of every labeled modulus, then tally vendors
+     into a dense per-id array. *)
+  let primes = Store.create ~size:1024 () in
+  List.iter
+    (fun ((f : Factored.t), label) ->
+      match label with
+      | None -> ()
+      | Some _ ->
+        ignore (Store.intern primes f.Factored.p);
+        ignore (Store.intern primes f.Factored.q))
+    entries;
+  let pools = Array.make (Stdlib.max 1 (Store.size primes)) [] in
   List.iter
     (fun ((f : Factored.t), label) ->
       match label with
@@ -14,16 +26,15 @@ let build entries =
       | Some vendor ->
         List.iter
           (fun p ->
-            let k = N.to_limbs p in
-            let cur = Option.value ~default:[] (Hashtbl.find_opt pools k) in
-            if not (List.mem vendor cur) then
-              Hashtbl.replace pools k (vendor :: cur))
+            let id = Store.intern primes p in
+            if not (List.mem vendor pools.(id)) then
+              pools.(id) <- vendor :: pools.(id))
           [ f.Factored.p; f.Factored.q ])
     entries;
-  { entries; pools }
+  { entries; primes; pools }
 
 let vendors_of_prime t p =
-  Option.value ~default:[] (Hashtbl.find_opt t.pools (N.to_limbs p))
+  match Store.find t.primes p with Some id -> t.pools.(id) | None -> []
 
 let label_modulus t (f : Factored.t) =
   let vs =
@@ -43,21 +54,20 @@ let extrapolated t =
 let overlaps t =
   let seen = Hashtbl.create 16 in
   let out = ref [] in
-  Hashtbl.iter
-    (fun limbs vendors ->
-      let sorted = List.sort compare vendors in
-      let rec pairs = function
-        | a :: rest ->
-          List.iter
-            (fun b ->
-              if not (Hashtbl.mem seen (a, b)) then begin
-                Hashtbl.replace seen (a, b) ();
-                out := (a, b, N.of_limbs limbs) :: !out
-              end)
-            rest;
-          pairs rest
-        | [] -> ()
-      in
-      pairs sorted)
-    t.pools;
+  for id = 0 to Store.size t.primes - 1 do
+    let sorted = List.sort compare t.pools.(id) in
+    let rec pairs = function
+      | a :: rest ->
+        List.iter
+          (fun b ->
+            if not (Hashtbl.mem seen (a, b)) then begin
+              Hashtbl.replace seen (a, b) ();
+              out := (a, b, Store.get t.primes id) :: !out
+            end)
+          rest;
+        pairs rest
+      | [] -> ()
+    in
+    pairs sorted
+  done;
   !out

@@ -339,6 +339,62 @@ let todo_issue_tag ctx =
     ctx.tokens
 
 (* ------------------------------------------------------------------ *)
+(* Rule 12: Hashtbls keyed on modulus limbs belong in lib/corpus       *)
+(* ------------------------------------------------------------------ *)
+
+(* The interning boundary: outside lib/corpus, moduli and primes are
+   identified by their dense Corpus.Store id, not by their limb array.
+   Two lexical patterns: a Hashtbl type whose key component is
+   [int array], and a Hashtbl operation passed a [to_limbs] key. *)
+let limbs_keyed_hashtbl ctx =
+  if in_dir "lib/corpus" ctx.path then []
+  else begin
+    let toks = Array.of_list (code ctx) in
+    let n = Array.length toks in
+    let ident i =
+      if i < 0 || i >= n then None
+      else match toks.(i).Lexer.kind with Lexer.Ident s -> Some s | _ -> None
+    in
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      match toks.(i).Lexer.kind with
+      | Lexer.Sym "("
+        when ident (i + 1) = Some "int" && ident (i + 2) = Some "array" ->
+        (* [(int array, _) Hashtbl.t]: the value type is at most a few
+           tokens, so a short window suffices for the constructor. *)
+        let rec look j =
+          if j <= i + 10 && j < n then
+            match ident j with
+            | Some s when strip_stdlib s = "Hashtbl.t" ->
+              out :=
+                { line = toks.(i).Lexer.line;
+                  message = "Hashtbl keyed on limb arrays (`(int array, _) Hashtbl.t`)" }
+                :: !out
+            | _ -> look (j + 1)
+        in
+        look (i + 3)
+      | Lexer.Ident s when s = "to_limbs" || ends_with ".to_limbs" s ->
+        let hashtbl_op h =
+          let h = strip_stdlib h in
+          starts_with "Hashtbl." h && h <> "Hashtbl.t"
+        in
+        let rec back j =
+          if j >= 0 && j >= i - 10 then
+            match ident j with
+            | Some h when hashtbl_op h ->
+              out :=
+                { line = toks.(i).Lexer.line;
+                  message = Printf.sprintf "`%s` used as a Hashtbl key" s }
+                :: !out
+            | _ -> back (j - 1)
+        in
+        back (i - 1)
+      | _ -> ()
+    done;
+    List.rev !out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Catalogue                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -419,6 +475,15 @@ let all =
       doc = "untracked TODO/FIXME comments rot; tie them to an issue";
       hint = "write TODO(#<issue>) or delete the comment";
       check = todo_issue_tag };
+    { id = "limbs-keyed-hashtbl";
+      severity = Warning;
+      doc =
+        "Hashtbl keyed on Nat.to_limbs limb arrays outside lib/corpus \
+         bypasses the interning store and copies key material per lookup";
+      hint =
+        "intern the value with Corpus.Store and key on the dense int id \
+         (int-keyed Hashtbl, array or Corpus.Id_set)";
+      check = limbs_keyed_hashtbl };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

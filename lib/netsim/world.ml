@@ -41,8 +41,9 @@ type t = {
   ca : K.private_key;
   ca_certificate : Cert.t;
   rimon : K.private_key;
-  prime_counts : (int array, int) Hashtbl.t;
-      (** prime limbs -> number of distinct moduli using it *)
+  primes : Corpus.Store.t;  (** ground-truth primes, interned *)
+  prime_counts : (int, int) Hashtbl.t;
+      (** prime id -> number of distinct moduli using it *)
   moduli : N.t array;  (** distinct TLS moduli *)
 }
 
@@ -324,43 +325,40 @@ let build ?(progress = fun _ -> ()) cfg =
       (materialize cfg ~ca ~ca_dn) protos
   in
   progress "indexing ground truth";
-  (* Count distinct moduli per prime over TLS epochs and SSH keys. *)
-  let prime_counts = Hashtbl.create 65536 in
-  let seen_moduli = Hashtbl.create 65536 in
+  (* Count distinct moduli per prime over TLS epochs and SSH keys;
+     primes are interned to dense ids, counts keyed on the id. *)
+  let primes = Corpus.Store.create ~size:65536 () in
+  let prime_counts : (int, int) Hashtbl.t = Hashtbl.create 65536 in
+  let seen_moduli = Corpus.Store.create ~size:65536 () in
   let moduli = ref [] in
   let note_key (k : K.private_key) =
-    let nk = N.to_limbs k.K.pub.K.n in
-    if not (Hashtbl.mem seen_moduli nk) then begin
-      Hashtbl.replace seen_moduli nk ();
+    let n = k.K.pub.K.n in
+    if not (Corpus.Store.mem seen_moduli n) then begin
+      ignore (Corpus.Store.intern seen_moduli n);
       List.iter
         (fun pr ->
-          let pk = N.to_limbs pr in
-          Hashtbl.replace prime_counts pk
-            (1 + Option.value ~default:0 (Hashtbl.find_opt prime_counts pk)))
+          let id = Corpus.Store.intern primes pr in
+          Hashtbl.replace prime_counts id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt prime_counts id)))
         [ k.K.p; k.K.q ]
     end
   in
   Array.iter
     (fun d ->
-      Array.iter
-        (fun e ->
-          note_key e.key;
-          let nk = N.to_limbs e.key.K.pub.K.n in
-          ignore nk)
-        d.epochs;
+      Array.iter (fun e -> note_key e.key) d.epochs;
       (match d.ssh_key with Some k -> note_key k | None -> ()))
     devs;
   (* Distinct TLS moduli only (SSH keys are folded into the GCD corpus
      separately by the pipeline, as the paper did). *)
-  let seen_tls = Hashtbl.create 65536 in
+  let seen_tls = Corpus.Store.create ~size:65536 () in
   Array.iter
     (fun d ->
       Array.iter
         (fun e ->
-          let nk = N.to_limbs e.key.K.pub.K.n in
-          if not (Hashtbl.mem seen_tls nk) then begin
-            Hashtbl.replace seen_tls nk ();
-            moduli := e.key.K.pub.K.n :: !moduli
+          let n = e.key.K.pub.K.n in
+          if not (Corpus.Store.mem seen_tls n) then begin
+            ignore (Corpus.Store.intern seen_tls n);
+            moduli := n :: !moduli
           end)
         d.epochs)
     devs;
@@ -370,6 +368,7 @@ let build ?(progress = fun _ -> ()) cfg =
     ca;
     ca_certificate;
     rimon;
+    primes;
     prime_counts;
     moduli = Array.of_list (List.rev !moduli);
   }
@@ -416,32 +415,34 @@ let ip_at d date =
 let all_tls_moduli t = Array.copy t.moduli
 
 let prime_sharing_count t p =
-  Option.value ~default:0 (Hashtbl.find_opt t.prime_counts (N.to_limbs p))
+  match Corpus.Store.find t.primes p with
+  | Some id -> Option.value ~default:0 (Hashtbl.find_opt t.prime_counts id)
+  | None -> 0
 
 let factor_table t =
-  (* modulus -> its two primes, over every key in the corpus *)
-  let factors = Hashtbl.create 65536 in
+  (* modulus id -> its two primes, over every key in the corpus *)
+  let store = Corpus.Store.create ~size:65536 () in
+  let factors : (int, N.t * N.t) Hashtbl.t = Hashtbl.create 65536 in
+  let note (k : K.private_key) =
+    Hashtbl.replace factors (Corpus.Store.intern store k.K.pub.K.n)
+      (k.K.p, k.K.q)
+  in
   Array.iter
     (fun d ->
-      Array.iter
-        (fun e ->
-          Hashtbl.replace factors (N.to_limbs e.key.K.pub.K.n)
-            (e.key.K.p, e.key.K.q))
-        d.epochs;
-      match d.ssh_key with
-      | Some k -> Hashtbl.replace factors (N.to_limbs k.K.pub.K.n) (k.K.p, k.K.q)
-      | None -> ())
+      Array.iter (fun e -> note e.key) d.epochs;
+      match d.ssh_key with Some k -> note k | None -> ())
     t.devs;
-  factors
+  fun n ->
+    match Corpus.Store.find store n with
+    | Some id -> Hashtbl.find_opt factors id
+    | None -> None
 
-let factors_of t =
-  let factors = factor_table t in
-  fun n -> Hashtbl.find_opt factors (N.to_limbs n)
+let factors_of t = factor_table t
 
 let factorable_ground_truth t =
   let factors = factor_table t in
   fun n ->
-    match Hashtbl.find_opt factors (N.to_limbs n) with
+    match factors n with
     | None -> false
     | Some (p, q) ->
       prime_sharing_count t p >= 2 || prime_sharing_count t q >= 2

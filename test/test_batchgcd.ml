@@ -337,6 +337,116 @@ let test_parallel_batch_match_sequential () =
         (BG.findings_equal seq (BG.factor_subsets ~domains:4 ~k:3 moduli)))
     [ 11; 23; 37 ]
 
+(* ---------------- Incremental batch GCD ---------------- *)
+
+module Inc = Batchgcd.Incremental
+
+(* factor_delta over every split point of a corpus (including splits
+   inside and before the planted shared block) must reproduce the full
+   run over the union, exactly. *)
+let test_factor_delta_splits () =
+  List.iter
+    (fun seed ->
+      let moduli, _ = corpus ~seed ~n_clean:8 ~n_shared:4 () in
+      let full = BG.factor_subsets ~k:3 moduli in
+      List.iter
+        (fun split ->
+          let old_part = Array.sub moduli 0 split in
+          let fresh = Array.sub moduli split (Array.length moduli - split) in
+          let old_tree = PT.build old_part in
+          let old_findings = BG.factor_batch old_part in
+          let delta =
+            Inc.factor_delta ~old_tree ~old_findings fresh
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d split %d" seed split)
+            true
+            (BG.findings_equal full delta))
+        [ 1; 4; 7; 9; 11 ])
+    [ 11; 23; 37 ]
+
+let test_incremental_create_extend () =
+  let moduli, _ = corpus ~seed:41 ~n_clean:10 ~n_shared:5 () in
+  let full = BG.factor_batch moduli in
+  (* three batches: subsets-seeded create, then two extends *)
+  let t = Inc.create ~k:3 (Array.sub moduli 0 6) in
+  let t = Inc.extend t (Array.sub moduli 6 5) in
+  Alcotest.(check int) "segments accumulate" 4 (Inc.segment_count t);
+  let t = Inc.extend t (Array.sub moduli 11 4) in
+  Alcotest.(check int) "corpus size" 15 (Inc.corpus_size t);
+  Alcotest.(check bool) "corpus preserved in order" true
+    (Array.for_all2 N.equal moduli (Inc.corpus t));
+  Alcotest.(check bool) "incremental = full" true
+    (BG.findings_equal full (Inc.findings t));
+  Alcotest.(check bool) "empty delta is identity" true
+    (BG.findings_equal full (Inc.findings (Inc.extend t [||])));
+  Alcotest.(check bool) "create from empty then extend" true
+    (BG.findings_equal full
+       (Inc.findings (Inc.extend (Inc.create [||]) moduli)))
+
+(* New findings that live entirely inside the delta (a shared prime
+   introduced by the fresh batch, unseen in the old corpus) must be
+   caught by the new-vs-new mod-square pass. *)
+let test_incremental_delta_only_sharing () =
+  let gen = mk_gen 43 in
+  let prime () = Bignum.Prime.generate ~gen ~bits:48 in
+  let old_part = Array.init 6 (fun _ -> N.mul (prime ()) (prime ())) in
+  let p = prime () in
+  let fresh = [| N.mul p (prime ()); N.mul p (prime ()) |] in
+  let t = Inc.extend (Inc.create old_part) fresh in
+  Alcotest.(check int) "both delta moduli flagged" 2
+    (List.length (Inc.findings t));
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "indexes in delta range" true (f.BG.index >= 6);
+      Alcotest.check nat "divisor is the delta prime" p f.BG.divisor)
+    (Inc.findings t)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "weakkeys-inc" ".ckpt" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_incremental_save_load () =
+  let moduli, _ = corpus ~seed:47 ~n_clean:9 ~n_shared:3 () in
+  let t = Inc.extend (Inc.create ~k:2 (Array.sub moduli 0 8))
+      (Array.sub moduli 8 4)
+  in
+  with_temp_checkpoint (fun path ->
+      let oc = open_out_bin path in
+      Inc.save oc t;
+      close_out oc;
+      let ic = open_in_bin path in
+      let t' = Inc.load ic in
+      close_in ic;
+      Alcotest.(check int) "size round-trips" (Inc.corpus_size t)
+        (Inc.corpus_size t');
+      Alcotest.(check int) "segments round-trip" (Inc.segment_count t)
+        (Inc.segment_count t');
+      Alcotest.(check bool) "corpus round-trips" true
+        (Array.for_all2 N.equal (Inc.corpus t) (Inc.corpus t'));
+      Alcotest.(check bool) "findings round-trip" true
+        (BG.findings_equal (Inc.findings t) (Inc.findings t'));
+      (* resuming from the restored state must equal resuming from the
+         live one *)
+      let delta, _ = corpus ~seed:53 ~n_clean:3 ~n_shared:2 () in
+      Alcotest.(check bool) "extend after load = extend live" true
+        (BG.findings_equal
+           (Inc.findings (Inc.extend t delta))
+           (Inc.findings (Inc.extend t' delta))))
+
+let test_incremental_load_rejects_garbage () =
+  with_temp_checkpoint (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "\x00\x00\x00\x04junk";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Alcotest.(check bool) "Corrupt raised" true
+            (try
+               ignore (Inc.load ic);
+               false
+             with Corpus.Io.Corrupt _ -> true)))
+
 (* ---------------- Properties ---------------- *)
 
 let prop_implementations_agree =
@@ -394,6 +504,15 @@ let tests =
       test_nested_map_no_deadlock;
     Alcotest.test_case "parallel = sequential" `Quick
       test_parallel_batch_match_sequential;
+    Alcotest.test_case "factor_delta across splits" `Quick
+      test_factor_delta_splits;
+    Alcotest.test_case "incremental create/extend" `Quick
+      test_incremental_create_extend;
+    Alcotest.test_case "delta-only sharing" `Quick
+      test_incremental_delta_only_sharing;
+    Alcotest.test_case "incremental save/load" `Quick test_incremental_save_load;
+    Alcotest.test_case "incremental load rejects garbage" `Quick
+      test_incremental_load_rejects_garbage;
     prop_implementations_agree;
     prop_divisor_divides;
   ]

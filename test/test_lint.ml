@@ -23,7 +23,7 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "eleven rules" 11 (List.length R.all);
+  Alcotest.(check int) "twelve rules" 12 (List.length R.all);
   Alcotest.(check int) "ids unique"
     (List.length R.all)
     (List.length (List.sort_uniq String.compare
@@ -150,6 +150,24 @@ let test_todo_issue_tag () =
   check_clean "TODO in string" "todo-issue-tag" {|let s = "TODO later"|};
   check_clean "lowercase identifier" "todo-issue-tag" "let todo = 1"
 
+let test_limbs_keyed_hashtbl () =
+  let path = "lib/core/pipeline.ml" in
+  check_flagged "replace with to_limbs key" "limbs-keyed-hashtbl" ~path
+    "let () = Hashtbl.replace tbl (N.to_limbs m) ()";
+  check_flagged "find_opt with to_limbs key" "limbs-keyed-hashtbl" ~path
+    "let c = Hashtbl.find_opt counts (Bignum.Nat.to_limbs pr)";
+  check_flagged "int array key type" "limbs-keyed-hashtbl" ~path
+    "let tbl : (int array, unit) Hashtbl.t = Hashtbl.create 16";
+  check_clean "lib/corpus owns the boundary" "limbs-keyed-hashtbl"
+    ~path:"lib/corpus/store.ml"
+    "let () = Hashtbl.replace tbl (N.to_limbs m) ()";
+  check_clean "string-keyed table" "limbs-keyed-hashtbl" ~path
+    "let tbl : (string, int) Hashtbl.t = Hashtbl.create 16";
+  check_clean "int array as value type" "limbs-keyed-hashtbl" ~path
+    "let tbl : (string, int array) Hashtbl.t = Hashtbl.create 16";
+  check_clean "to_limbs without a table" "limbs-keyed-hashtbl" ~path
+    "let limbs = N.to_limbs m in Array.length limbs"
+
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -209,6 +227,7 @@ let tests =
     Alcotest.test_case "domain-outside-parallel" `Quick
       test_domain_outside_parallel;
     Alcotest.test_case "todo-issue-tag" `Quick test_todo_issue_tag;
+    Alcotest.test_case "limbs-keyed-hashtbl" `Quick test_limbs_keyed_hashtbl;
     Alcotest.test_case "suppressions" `Quick test_suppressions;
     Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
   ]

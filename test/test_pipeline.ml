@@ -18,11 +18,12 @@ let test_findings_match_ground_truth () =
      modulus. (The world may know of sharing partners that never
      surfaced in a scan.) *)
   let factors = W.factors_of p.P.world in
-  let counts = Hashtbl.create 4096 in
+  let primes = Corpus.Store.create ~size:4096 () in
+  let counts : (int, int) Hashtbl.t = Hashtbl.create 4096 in
   let bump pr =
-    let k = N.to_limbs pr in
-    Hashtbl.replace counts k
-      (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    let id = Corpus.Store.intern primes pr in
+    Hashtbl.replace counts id
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts id))
   in
   Array.iter
     (fun m ->
@@ -36,7 +37,11 @@ let test_findings_match_ground_truth () =
     match factors m with
     | None -> false
     | Some (a, b) ->
-      let c pr = Option.value ~default:0 (Hashtbl.find_opt counts (N.to_limbs pr)) in
+      let c pr =
+        match Corpus.Store.find primes pr with
+        | Some id -> Option.value ~default:0 (Hashtbl.find_opt counts id)
+        | None -> 0
+      in
       c a >= 2 || c b >= 2
   in
   List.iter
@@ -244,8 +249,119 @@ let test_table5_ground_truth_styles () =
       | _ -> ())
     rows
 
+(* Regression for the majority-vote tie-break: ties are broken by
+   vendor name, so the winner cannot depend on tally iteration order
+   (Hashtbl.fold order used to decide). *)
+let test_majority_vendor_tie_break () =
+  Alcotest.(check (option string)) "clear winner" (Some "Cisco")
+    (P.majority_vendor [ ("Acme", 1); ("Cisco", 5); ("Zyxel", 2) ]);
+  let ballot = [ ("Zyxel", 3); ("Acme", 3); ("Mid", 2) ] in
+  Alcotest.(check (option string)) "tie -> lexicographically first"
+    (Some "Acme") (P.majority_vendor ballot);
+  Alcotest.(check (option string)) "tie is order-independent" (Some "Acme")
+    (P.majority_vendor (List.rev ballot));
+  List.iter
+    (fun b ->
+      Alcotest.(check (option string)) "3-way tie, any order" (Some "A")
+        (P.majority_vendor b))
+    [
+      [ ("B", 1); ("A", 1); ("C", 1) ];
+      [ ("C", 1); ("B", 1); ("A", 1) ];
+      [ ("A", 1); ("C", 1); ("B", 1) ];
+    ];
+  Alcotest.(check (option string)) "empty ballot" None (P.majority_vendor [])
+
+(* Snapshot ingest: of_scans over the early scans, extend with the
+   late ones; findings must exactly match a from-scratch run over the
+   combined corpus, and the cached forest must grow by one segment
+   (no rebuild of old trees). *)
+let test_extend_matches_full () =
+  let world = Lazy.force Worlds.small in
+  let scans = Lazy.force Worlds.small_scans in
+  let cutoff = X509lite.Date.of_ymd 2014 1 1 in
+  let early, late =
+    List.partition
+      (fun (s : Sc.scan) -> X509lite.Date.(s.Sc.scan_date < cutoff))
+      scans
+  in
+  Alcotest.(check bool) "both halves non-empty" true (early <> [] && late <> []);
+  let p0 = P.of_scans world early in
+  let pe = P.extend p0 late in
+  Alcotest.(check int) "one delta segment added"
+    (Batchgcd.Incremental.segment_count p0.P.inc + 1)
+    (Batchgcd.Incremental.segment_count pe.P.inc);
+  Alcotest.(check int) "corpus grew" (Array.length pe.P.corpus)
+    (Corpus.Store.size pe.P.store);
+  Alcotest.(check bool) "extend = from-scratch over union" true
+    (Batchgcd.Batch_gcd.findings_equal pe.P.findings
+       (Batchgcd.Batch_gcd.factor_subsets ~k:16 pe.P.corpus));
+  (* agree with the one-shot pipeline's findings, index-insensitively:
+     its corpus interleaves non-HTTPS moduli at a different position *)
+  let p = pipeline () in
+  let key f =
+    N.to_hex f.Batchgcd.Batch_gcd.modulus
+    ^ "/"
+    ^ N.to_hex f.Batchgcd.Batch_gcd.divisor
+  in
+  let set fs = List.sort_uniq String.compare (List.map key fs) in
+  Alcotest.(check (list string)) "same modulus/divisor set"
+    (set p.P.findings) (set pe.P.findings);
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "is_vulnerable agrees with one-shot pipeline"
+        (P.is_vulnerable p m) (P.is_vulnerable pe m))
+    pe.P.corpus
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "weakkeys-ckpt" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* Checkpoint round trip: a rerun over the identical corpus restores
+   the GCD artifact instead of recomputing, and every downstream
+   number is identical. *)
+let test_checkpoint_resume () =
+  let world = Lazy.force Worlds.small in
+  let scans = Lazy.force Worlds.small_scans in
+  let subset = List.filteri (fun i _ -> i mod 6 = 0) scans in
+  with_temp_dir (fun dir ->
+      let p1 = P.of_scans ~checkpoint_dir:dir world subset in
+      let computed =
+        List.exists
+          (fun (tm : Weakkeys.Stage.timing) ->
+            tm.Weakkeys.Stage.stage = "batchgcd"
+            && not tm.Weakkeys.Stage.restored)
+          p1.P.timings
+      in
+      Alcotest.(check bool) "first run computes" true computed;
+      let p2 = P.of_scans ~checkpoint_dir:dir world subset in
+      let restored =
+        List.exists
+          (fun (tm : Weakkeys.Stage.timing) ->
+            tm.Weakkeys.Stage.stage = "batchgcd" && tm.Weakkeys.Stage.restored)
+          p2.P.timings
+      in
+      Alcotest.(check bool) "gcd stage restored on rerun" true restored;
+      Alcotest.(check bool) "findings identical" true
+        (Batchgcd.Batch_gcd.findings_equal p1.P.findings p2.P.findings);
+      Alcotest.(check string) "table1 identical" (Weakkeys.Report.table1 p1)
+        (Weakkeys.Report.table1 p2);
+      Alcotest.(check string) "bit-error section identical"
+        (Weakkeys.Report.bit_error_section p1)
+        (Weakkeys.Report.bit_error_section p2))
+
 let tests =
   [
+    Alcotest.test_case "majority vendor tie-break" `Quick
+      test_majority_vendor_tie_break;
     Alcotest.test_case "findings = ground truth" `Slow
       test_findings_match_ground_truth;
     Alcotest.test_case "vulnerable counts sane" `Slow test_vulnerable_counts_sane;
@@ -260,4 +376,6 @@ let tests =
     Alcotest.test_case "table4 shape" `Slow test_table4_shape;
     Alcotest.test_case "report renders" `Slow test_report_renders;
     Alcotest.test_case "table5 styles" `Slow test_table5_ground_truth_styles;
+    Alcotest.test_case "extend = full recompute" `Slow test_extend_matches_full;
+    Alcotest.test_case "checkpoint resume" `Slow test_checkpoint_resume;
   ]
