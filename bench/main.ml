@@ -313,6 +313,89 @@ let substrate =
             (Lazy.force pow_mod));
     ]
 
+(* The attribution engine (PR 5): each builtin pass timed in
+   isolation against a completed table (so dependent passes read the
+   evidence they declared), the evidence/artifact merge on its own,
+   and the full Registry.run sequential vs pooled — the latter pair
+   feeds passes_parallel_speedup in BENCH_batchgcd.json. The fixture
+   is a small but real pipeline world, so pass costs reflect genuine
+   scan/corpus shapes rather than synthetic tables. *)
+let attr_pipeline =
+  lazy
+    (Weakkeys.Pipeline.of_world
+       (Netsim.World.build
+          {
+            Netsim.World.default_config with
+            Netsim.World.seed = "bench-attr";
+            scale = 0.05;
+          }))
+
+let attr_ctx =
+  lazy
+    (let p = Lazy.force attr_pipeline in
+     {
+       Fingerprint.Pass.Ctx.store = p.Weakkeys.Pipeline.store;
+       corpus = p.Weakkeys.Pipeline.corpus;
+       findings = p.Weakkeys.Pipeline.findings;
+       factored = p.Weakkeys.Pipeline.factored;
+       factored_index = p.Weakkeys.Pipeline.factored_index;
+       unrecovered = p.Weakkeys.Pipeline.unrecovered;
+       scans = p.Weakkeys.Pipeline.scans;
+       page_titles =
+         Analysis.Dataset.page_title_index p.Weakkeys.Pipeline.scans;
+       cert_fp = p.Weakkeys.Pipeline.cert_fp;
+       modulus_bits =
+         (Netsim.World.config p.Weakkeys.Pipeline.world)
+           .Netsim.World.modulus_bits;
+     })
+
+let attr_table =
+  lazy
+    (fst
+       (Fingerprint.Registry.run ~pool:(Lazy.force pool_seq)
+          (Lazy.force attr_ctx) Fingerprint.Registry.builtin))
+
+let attribution_group =
+  let ctx () = Lazy.force attr_ctx in
+  let passes = Fingerprint.Registry.builtin in
+  let pass_benches =
+    List.map
+      (fun (p : Fingerprint.Pass.t) ->
+        t ("pass-" ^ p.Fingerprint.Pass.name) (fun () ->
+            p.Fingerprint.Pass.run (ctx ()) (Lazy.force attr_table)))
+      passes
+  in
+  let results =
+    lazy
+      (List.map
+         (fun (p : Fingerprint.Pass.t) ->
+           p.Fingerprint.Pass.run (Lazy.force attr_ctx)
+             (Lazy.force attr_table))
+         passes)
+  in
+  let merge () =
+    let a = Fingerprint.Attribution.create () in
+    List.iter
+      (fun (r : Fingerprint.Pass.result) ->
+        List.iter (Fingerprint.Attribution.add a) r.Fingerprint.Pass.evidence;
+        List.iter
+          (Fingerprint.Attribution.add_artifact a)
+          r.Fingerprint.Pass.artifacts)
+      (Lazy.force results);
+    a
+  in
+  Test.make_grouped ~name:"attribution"
+    (pass_benches
+    @ [
+        t "merge" merge;
+        t "registry-run-seq" (fun () ->
+            Fingerprint.Registry.run ~pool:(Lazy.force pool_seq) (ctx ())
+              Fingerprint.Registry.builtin);
+        t "registry-run-par" (fun () ->
+            Fingerprint.Registry.run ~pool:(Lazy.force pool_par) (ctx ())
+              Fingerprint.Registry.builtin);
+      ])
+
 (* ---------------- runner ---------------- *)
 
 let force_fixtures () =
@@ -326,6 +409,7 @@ let force_fixtures () =
   ignore (Lazy.force gcd_a);
   ignore (Lazy.force gcd_b);
   ignore (Lazy.force tree_2048);
+  ignore (Lazy.force attr_table);
   (* One throwaway extend fills the cached segments' Barrett
      reciprocals, so the timed runs measure steady-state ingest. *)
   ignore
@@ -344,7 +428,7 @@ let run_timing () =
       batchgcd_section_3_2; figure2_k_sweep; tree_parallel; delta_ingest;
       ablation_multiplication; toom3_group; recip_group; rem_precomp_group;
       ablation_division; ablation_powmod;
-      ablation_gcd; keygen_styles; substrate;
+      ablation_gcd; keygen_styles; substrate; attribution_group;
     ]
   in
   let ols =
@@ -437,6 +521,23 @@ let emit_json rows =
   let findings_ok =
     findings_parallel_ok && findings_kernels_ok && findings_incremental_ok
   in
+  let passes_parallel_speedup =
+    match
+      ( find "attribution/registry-run-seq",
+        find "attribution/registry-run-par" )
+    with
+    | Some s, Some p when p > 0. -> Some (s /. p)
+    | _ -> None
+  in
+  let attributions_equal_passes =
+    Fingerprint.Attribution.equal_evidence
+      (fst
+         (Fingerprint.Registry.run ~pool:(Lazy.force pool_seq)
+            (Lazy.force attr_ctx) Fingerprint.Registry.builtin))
+      (fst
+         (Fingerprint.Registry.run ~pool:(Lazy.force pool_par)
+            (Lazy.force attr_ctx) Fingerprint.Registry.builtin))
+  in
   let path =
     Option.value ~default:"BENCH_batchgcd.json"
       (Sys.getenv_opt "WEAKKEYS_BENCH_JSON")
@@ -457,6 +558,12 @@ let emit_json rows =
         findings_kernels_ok;
       Printf.fprintf oc "  \"findings_equal_incremental\": %b,\n"
         findings_incremental_ok;
+      Printf.fprintf oc "  \"attributions_equal_passes\": %b,\n"
+        attributions_equal_passes;
+      (match passes_parallel_speedup with
+      | Some x ->
+        Printf.fprintf oc "  \"passes_parallel_speedup\": %.2f,\n" x
+      | None -> ());
       (match precomp_speedup with
       | Some x ->
         Printf.fprintf oc "  \"remainder_tree_precomp_speedup\": %.2f,\n" x

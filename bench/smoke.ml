@@ -154,6 +154,74 @@ let () =
       check "extend after checkpoint load = one-shot factor_batch"
         (BG.findings_equal fb_s (Inc.findings (Inc.extend ~pool:seq loaded late))));
 
+  (* Attribution registry: the six builtin passes over a tiny
+     synthetic context (no scans, so the corpus-driven passes do the
+     work), pooled execution must produce the identical evidence
+     table as sequential. A both-primes-shared pool of 4 primes (all 6
+     pairings) is appended so the ibm-clique pass fires, which in turn
+     feeds the shared-prime pass real labels. *)
+  let module FP = Fingerprint in
+  let pool_primes =
+    Array.init 4 (fun _ -> Bignum.Prime.generate ~gen ~bits:48)
+  in
+  let clique_mods =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j ->
+            if i < j then Some (N.mul pool_primes.(i) pool_primes.(j))
+            else None)
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let attr_moduli = Array.append moduli (Array.of_list clique_mods) in
+  let fb_attr, dt = timed (fun () -> BG.factor_batch ~pool:seq attr_moduli) in
+  row "attribution-factor-batch" dt;
+  let store = Corpus.Store.create ~size:256 () in
+  Array.iter (fun m -> ignore (Corpus.Store.intern store m)) attr_moduli;
+  let factored, unrecovered = FP.Factored.recover fb_attr in
+  let factored_index = Array.make (Corpus.Store.size store) None in
+  List.iter
+    (fun (f : FP.Factored.t) ->
+      match Corpus.Store.find store f.FP.Factored.modulus with
+      | Some id -> factored_index.(id) <- Some f
+      | None -> ())
+    factored;
+  let ctx =
+    {
+      FP.Pass.Ctx.store;
+      corpus = attr_moduli;
+      findings = fb_attr;
+      factored;
+      factored_index;
+      unrecovered;
+      scans = [];
+      page_titles = Hashtbl.create 1;
+      cert_fp = (fun _ -> "");
+      modulus_bits = 96;
+    }
+  in
+  let (a_seq, _), dt =
+    timed (fun () -> FP.Registry.run ~pool:seq ctx FP.Registry.builtin)
+  in
+  row "attribution-passes-seq" dt;
+  let (a_par, _), dt =
+    timed (fun () -> FP.Registry.run ~pool:par ctx FP.Registry.builtin)
+  in
+  row "attribution-passes-par" dt;
+  check "pooled attribution passes = sequential"
+    (FP.Attribution.equal_evidence a_seq a_par);
+  (match FP.Attribution.cliques a_seq with
+  | Some (c :: _) ->
+    check "clique pass found the planted 4-prime pool"
+      (List.length c.FP.Ibm_clique.moduli >= 6);
+    let member = List.hd c.FP.Ibm_clique.moduli in
+    check "clique member attributed to IBM"
+      (match Corpus.Store.find store member with
+      | Some id -> FP.Attribution.vendor_of a_seq id = Some "IBM"
+      | None -> false)
+  | _ -> check "clique pass found the planted 4-prime pool" false);
+
   if !failures > 0 then begin
     Printf.eprintf "bench-smoke: %d check(s) failed\n%!" !failures;
     exit 2

@@ -43,9 +43,9 @@ let config_of seed scale =
 let progress_of quiet =
   if quiet then fun _ -> () else fun m -> Printf.eprintf "[weakkeys] %s\n%!" m
 
-let run_pipeline ?checkpoint_dir seed scale k quiet =
+let run_pipeline ?checkpoint_dir ?only_passes seed scale k quiet =
   Weakkeys.Pipeline.run ~progress:(progress_of quiet) ~k ?checkpoint_dir
-    (config_of seed scale)
+    ?only_passes (config_of seed scale)
 
 (* ------------- report ------------- *)
 
@@ -56,21 +56,55 @@ let ckpt_opt_arg =
   in
   Arg.(value & opt (some string) None & info [ "ckpt" ] ~docv:"DIR" ~doc)
 
+let only_pass_arg =
+  let doc =
+    "Run only the named attribution passes (comma-separated; see the \
+     'passes' subcommand), automatically closed over their declared \
+     dependencies. Report sections owned by an excluded pass render as \
+     skipped."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only-pass" ] ~docv:"NAME,..." ~doc)
+
+let only_passes_of = function
+  | None -> None
+  | Some s ->
+    Some
+      (List.filter_map
+         (fun name ->
+           let name = String.trim name in
+           if name = "" then None else Some name)
+         (String.split_on_char ',' s))
+
 let report_cmd =
-  let run seed scale k quiet ckpt =
-    let p = run_pipeline ?checkpoint_dir:ckpt seed scale k quiet in
-    if not quiet then
-      List.iter
-        (fun (tm : Weakkeys.Stage.timing) ->
-          Printf.eprintf "[weakkeys] stage %-12s %6.2fs%s\n%!"
-            tm.Weakkeys.Stage.stage tm.Weakkeys.Stage.seconds
-            (if tm.Weakkeys.Stage.restored then " (restored)" else ""))
-        p.Weakkeys.Pipeline.timings;
-    print_string (Weakkeys.Report.full_report p)
+  let run seed scale k quiet ckpt only_pass =
+    match
+      run_pipeline ?checkpoint_dir:ckpt
+        ?only_passes:(only_passes_of only_pass) seed scale k quiet
+    with
+    | exception Fingerprint.Registry.Unknown_pass name ->
+      Printf.eprintf
+        "weakkeys: unknown attribution pass `%s` (list them with \
+         `weakkeys passes`)\n%!"
+        name;
+      exit 2
+    | p ->
+      if not quiet then
+        List.iter
+          (fun (tm : Weakkeys.Stage.timing) ->
+            Printf.eprintf "[weakkeys] stage %-12s %6.2fs%s\n%!"
+              tm.Weakkeys.Stage.stage tm.Weakkeys.Stage.seconds
+              (if tm.Weakkeys.Stage.restored then " (restored)" else ""))
+          p.Weakkeys.Pipeline.timings;
+      print_string (Weakkeys.Report.full_report p)
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full study: every table and figure.")
-    Term.(const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg $ ckpt_opt_arg)
+    Term.(
+      const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg $ ckpt_opt_arg
+      $ only_pass_arg)
 
 (* ------------- table / figure ------------- *)
 
@@ -343,6 +377,27 @@ let export_cmd =
              as CSV/text files.")
     Term.(const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg $ out)
 
+(* ------------- passes ------------- *)
+
+let passes_cmd =
+  let run () =
+    Printf.printf "%-22s %-38s %s\n" "PASS" "DEPENDS ON" "DESCRIPTION";
+    List.iter
+      (fun (p : Fingerprint.Pass.t) ->
+        Printf.printf "%-22s %-38s %s\n" p.Fingerprint.Pass.name
+          (match p.Fingerprint.Pass.deps with
+          | [] -> "-"
+          | deps -> String.concat ", " deps)
+          p.Fingerprint.Pass.doc)
+      Fingerprint.Registry.builtin
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:
+         "List the registered attribution passes with their dependencies \
+          (usable with 'report --only-pass').")
+    Term.(const run $ const ())
+
 (* ------------- world ------------- *)
 
 let world_cmd =
@@ -385,4 +440,4 @@ let () =
        (Cmd.group
           (Cmd.info "weakkeys" ~version:"1.0.0" ~doc)
           [ report_cmd; table_cmd; figure_cmd; factor_cmd; ingest_cmd;
-            extend_cmd; keygen_cmd; world_cmd; export_cmd ]))
+            extend_cmd; keygen_cmd; passes_cmd; world_cmd; export_cmd ]))

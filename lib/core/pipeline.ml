@@ -4,6 +4,10 @@ module Cert = X509lite.Certificate
 module BG = Batchgcd.Batch_gcd
 module Inc = Batchgcd.Incremental
 module Fp = Fingerprint.Factored
+module Evidence = Fingerprint.Evidence
+module Attribution = Fingerprint.Attribution
+module FPass = Fingerprint.Pass
+module Registry = Fingerprint.Registry
 module Store = Corpus.Store
 module Id_set = Corpus.Id_set
 
@@ -19,15 +23,10 @@ type t = {
   findings : BG.finding list;
   factored : Fp.t list;
   unrecovered : N.t list;
-  cliques : Fingerprint.Ibm_clique.clique list;
-  shared : Fingerprint.Shared_prime.t;
-  rimon : Fingerprint.Rimon.detection list;
+  attribution : Attribution.t;
   vuln_index : Id_set.t;
-  cert_label_index : (string, Fingerprint.Rules.label option) Hashtbl.t;
-  subject_label_index : string option array;
   factored_index : Fp.t option array;
-  clique_index : Id_set.t;
-  fp_cache : (Cert.t, string) Hashtbl.t;
+  cert_fp : Cert.t -> string;
   timings : Stage.timing list;
 }
 
@@ -36,87 +35,31 @@ let modulus_of_record (r : Sc.host_record) =
 
 (* Certificates are shared across every record that observed them, and
    the report renders dozens of series over millions of records:
-   memoize the (SHA-256) fingerprint per certificate value. The cache
-   lives in the pipeline value (not a process global), so its lifetime
-   is bounded by the run that owns the certificates it keys on and
-   repeated runs in one process do not accumulate dead worlds. *)
-let cert_fingerprint cache c =
-  match Hashtbl.find_opt cache c with
-  | Some fp -> fp
-  | None ->
-    let fp = Cert.fingerprint c in
-    Hashtbl.replace cache c fp;
-    fp
+   memoize the (SHA-256) fingerprint per certificate value. The memo
+   lives in the pipeline value (not a process global) and is handed to
+   the attribution passes through their context, so its lifetime is
+   bounded by the run that owns the certificates it keys on. A mutex
+   keeps it safe for passes running concurrently on the pool. *)
+let cert_fp_memo () =
+  let cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536 in
+  let lock = Mutex.create () in
+  fun c ->
+    Mutex.lock lock;
+    match Hashtbl.find_opt cache c with
+    | Some fp ->
+      Mutex.unlock lock;
+      fp
+    | None ->
+      (* Hash outside the lock; a duplicate computation is harmless
+         and both domains store the same digest. *)
+      Mutex.unlock lock;
+      let fp = Cert.fingerprint c in
+      Mutex.lock lock;
+      Hashtbl.replace cache c fp;
+      Mutex.unlock lock;
+      fp
 
-(* Subject/content labels per distinct certificate fingerprint. *)
-let build_cert_labels fp_cache scans =
-  let titles = Analysis.Dataset.page_title_index scans in
-  let labels : (string, Fingerprint.Rules.label option) Hashtbl.t =
-    Hashtbl.create 4096
-  in
-  List.iter
-    (fun (s : Sc.scan) ->
-      Array.iter
-        (fun (r : Sc.host_record) ->
-          let fp = cert_fingerprint fp_cache r.Sc.cert in
-          if not (Hashtbl.mem labels fp) then begin
-            let page_title = Hashtbl.find_opt titles fp in
-            Hashtbl.replace labels fp
-              (Fingerprint.Rules.of_certificate ?page_title r.Sc.cert)
-          end)
-        s.Sc.records)
-    scans;
-  labels
-
-(* Majority winner; ties broken by vendor name (lexicographically
-   smallest wins) so the result does not depend on tally iteration
-   order — Hashtbl.fold order used to decide ties here. *)
-let majority_vendor votes =
-  let best =
-    List.fold_left
-      (fun acc (v, c) ->
-        match acc with
-        | Some (v', c') when c' > c || (c' = c && String.compare v' v <= 0) ->
-          acc
-        | _ -> Some (v, c))
-      None votes
-  in
-  Option.map fst best
-
-(* Majority subject label per modulus id, from the certificates that
-   carry the modulus. *)
-let build_modulus_subject_labels fp_cache store scans cert_labels =
-  let votes : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 4096 in
-  List.iter
-    (fun (s : Sc.scan) ->
-      Array.iter
-        (fun (r : Sc.host_record) ->
-          let fp = cert_fingerprint fp_cache r.Sc.cert in
-          match Hashtbl.find_opt cert_labels fp with
-          | Some (Some { Fingerprint.Rules.vendor; _ }) ->
-            let id = Store.intern store (modulus_of_record r) in
-            let tally =
-              match Hashtbl.find_opt votes id with
-              | Some t -> t
-              | None ->
-                let t = Hashtbl.create 4 in
-                Hashtbl.replace votes id t;
-                t
-            in
-            Hashtbl.replace tally vendor
-              (1 + Option.value ~default:0 (Hashtbl.find_opt tally vendor))
-          | _ -> ())
-        s.Sc.records)
-    scans;
-  let best : (int, string) Hashtbl.t = Hashtbl.create 4096 in
-  Hashtbl.iter
-    (fun id tally ->
-      let ballot = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tally [] in
-      match majority_vendor ballot with
-      | Some v -> Hashtbl.replace best id v
-      | None -> ())
-    votes;
-  best
+let majority_vendor = Attribution.majority_vendor
 
 (* ------------------------------------------------------------------ *)
 (* Stages                                                              *)
@@ -151,51 +94,30 @@ let corpus_key corpus tag =
   Buffer.add_string buf tag;
   Hashes.Sha256.hexdigest (Buffer.contents buf)
 
-let stage_fingerprint findings =
-  let factored, unrecovered = Fp.recover findings in
-  let cliques = Fingerprint.Ibm_clique.detect factored in
-  (factored, unrecovered, cliques)
-
-let stage_label fp_cache store scans cliques factored =
-  let cert_labels = build_cert_labels fp_cache scans in
-  let subject_labels =
-    build_modulus_subject_labels fp_cache store scans cert_labels
-  in
-  (* Clique moduli with no subject label are IBM (prior knowledge from
-     the 2012 study: the nine-prime implementation is the IBM card). *)
-  let clique_index = Id_set.create ~size:(Store.size store) () in
+(* The attribution table additionally depends on the scan records the
+   labeling passes read (certificates, page titles, IPs): digest them
+   so a checkpoint from a different scan history never restores. *)
+let scans_digest cert_fp scans =
+  let h = Hashes.Sha256.init () in
   List.iter
-    (fun (c : Fingerprint.Ibm_clique.clique) ->
-      List.iter
-        (fun m ->
-          match Store.find store m with
-          | Some id -> Id_set.add clique_index id
-          | None -> ())
-        c.Fingerprint.Ibm_clique.moduli)
-    cliques;
-  let entry (f : Fp.t) =
-    let label =
-      match Store.find store f.Fp.modulus with
-      | None -> None
-      | Some id -> (
-        match Hashtbl.find_opt subject_labels id with
-        | Some v -> Some v
-        | None -> if Id_set.mem clique_index id then Some "IBM" else None)
-    in
-    (f, label)
-  in
-  let shared = Fingerprint.Shared_prime.build (List.map entry factored) in
-  let rimon = Fingerprint.Rimon.detect scans in
-  (cert_labels, subject_labels, clique_index, shared, rimon)
+    (fun (s : Sc.scan) ->
+      Hashes.Sha256.update h (Sc.source_name s.Sc.scan_source);
+      Hashes.Sha256.update h (X509lite.Date.to_string s.Sc.scan_date);
+      Hashes.Sha256.update h (string_of_int (Array.length s.Sc.records));
+      Array.iter
+        (fun (r : Sc.host_record) ->
+          Hashes.Sha256.update h (Netsim.Ipv4.to_string r.Sc.ip);
+          Hashes.Sha256.update h (cert_fp r.Sc.cert);
+          Hashes.Sha256.update h (if r.Sc.is_intermediate then "i" else "-");
+          Hashes.Sha256.update h (Option.value ~default:"" r.Sc.page_title))
+        s.Sc.records)
+    scans;
+  Hashes.Sha256.to_hex (Hashes.Sha256.finalize h)
 
-(* Findings carry corpus indexes, and corpus order is store insertion
-   order, so a finding's index is its store id directly. *)
-let stage_index store findings subject_labels factored =
+let stage_index store findings factored =
   let n = Store.size store in
   let vuln_index = Id_set.create ~size:n () in
   List.iter (fun (f : BG.finding) -> Id_set.add vuln_index f.BG.index) findings;
-  let subject_label_index = Array.make n None in
-  Hashtbl.iter (fun id v -> subject_label_index.(id) <- Some v) subject_labels;
   let factored_index = Array.make n None in
   List.iter
     (fun (f : Fp.t) ->
@@ -203,24 +125,70 @@ let stage_index store findings subject_labels factored =
       | Some id -> factored_index.(id) <- Some f
       | None -> ())
     factored;
-  (vuln_index, subject_label_index, factored_index)
+  (vuln_index, factored_index)
+
+(* The attribution engine: every registered pass scheduled over one
+   shared context, merged into the evidence table ({!Registry.run}).
+   Per-pass wall clocks land in the stage timing table as "pass:NAME";
+   with a checkpoint dir the whole table is content-addressed like the
+   GCD artifact. *)
+let stage_attribution sctx ~checkpointed ?pool ?only_passes world scans store
+    corpus findings factored factored_index unrecovered cert_fp =
+  let bits = (Netsim.World.config world).Netsim.World.modulus_bits in
+  let compute () =
+    let ctx =
+      {
+        FPass.Ctx.store;
+        corpus;
+        findings;
+        factored;
+        factored_index;
+        unrecovered;
+        scans;
+        page_titles = Analysis.Dataset.page_title_index scans;
+        cert_fp;
+        modulus_bits = bits;
+      }
+    in
+    let attr, times = Registry.run ?pool ?only:only_passes ctx Registry.builtin in
+    List.iter
+      (fun (name, seconds) -> Stage.note sctx ("pass:" ^ name) ~seconds)
+      times;
+    attr
+  in
+  if not checkpointed then Stage.run sctx "attribution" compute
+  else begin
+    let selected =
+      List.map
+        (fun p -> p.FPass.name)
+        (Registry.select ?only:only_passes Registry.builtin)
+    in
+    let tag =
+      Printf.sprintf "/attribution/bits=%d/passes=%s/scans=%s" bits
+        (String.concat "," selected)
+        (scans_digest cert_fp scans)
+    in
+    Stage.run_cached sctx "attribution" ~key:(corpus_key corpus tag)
+      ~save:Attribution.save ~load:Attribution.load compute
+  end
 
 (* Downstream of the GCD artifact, of_scans and extend are identical:
-   fingerprint, label and index over the current corpus. *)
-let finish sctx world scans monthly protocol_snapshots https_moduli store
-    corpus inc =
+   recover factorizations, index, and run the attribution passes. *)
+let finish sctx ?pool ?only_passes ~checkpointed world scans monthly
+    protocol_snapshots https_moduli store corpus inc =
   let findings = Inc.findings inc in
-  let factored, unrecovered, cliques =
-    Stage.run sctx "fingerprint" (fun () -> stage_fingerprint findings)
+  let factored, unrecovered =
+    Stage.run sctx "fingerprint" (fun () -> Fp.recover findings)
   in
-  let fp_cache : (Cert.t, string) Hashtbl.t = Hashtbl.create 65536 in
-  let cert_labels, subject_labels, clique_index, shared, rimon =
-    Stage.run sctx "label" (fun () ->
-        stage_label fp_cache store scans cliques factored)
+  (* Findings carry corpus indexes, and corpus order is store insertion
+     order, so a finding's index is its store id directly. *)
+  let vuln_index, factored_index =
+    Stage.run sctx "index" (fun () -> stage_index store findings factored)
   in
-  let vuln_index, subject_label_index, factored_index =
-    Stage.run sctx "index" (fun () ->
-        stage_index store findings subject_labels factored)
+  let cert_fp = cert_fp_memo () in
+  let attribution =
+    stage_attribution sctx ~checkpointed ?pool ?only_passes world scans store
+      corpus findings factored factored_index unrecovered cert_fp
   in
   {
     world;
@@ -234,19 +202,15 @@ let finish sctx world scans monthly protocol_snapshots https_moduli store
     findings;
     factored;
     unrecovered;
-    cliques;
-    shared;
-    rimon;
+    attribution;
     vuln_index;
-    cert_label_index = cert_labels;
-    subject_label_index;
     factored_index;
-    clique_index;
-    fp_cache;
+    cert_fp;
     timings = Stage.timings sctx;
   }
 
-let of_scans ?progress ?(k = 16) ?domains ?checkpoint_dir world scans =
+let of_scans ?progress ?(k = 16) ?domains ?checkpoint_dir ?only_passes world
+    scans =
   let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
   let say = match progress with Some f -> f | None -> fun _ -> () in
   let monthly, protocol_snapshots =
@@ -273,19 +237,20 @@ let of_scans ?progress ?(k = 16) ?domains ?checkpoint_dir world scans =
       (fun () -> Inc.create ~pool ~k corpus)
   in
   say (Printf.sprintf "%d moduli factored" (List.length (Inc.findings inc)));
-  finish sctx world scans monthly protocol_snapshots https_moduli store corpus
-    inc
+  finish sctx ~pool ?only_passes
+    ~checkpointed:(checkpoint_dir <> None)
+    world scans monthly protocol_snapshots https_moduli store corpus inc
 
-let of_world ?progress ?k ?domains ?checkpoint_dir world =
+let of_world ?progress ?k ?domains ?checkpoint_dir ?only_passes world =
   (match progress with Some f -> f "running scan campaigns" | None -> ());
   let scans = Sc.run_all world in
-  of_scans ?progress ?k ?domains ?checkpoint_dir world scans
+  of_scans ?progress ?k ?domains ?checkpoint_dir ?only_passes world scans
 
-let run ?progress ?k ?domains ?checkpoint_dir config =
+let run ?progress ?k ?domains ?checkpoint_dir ?only_passes config =
   let world = Netsim.World.build ?progress config in
-  of_world ?progress ?k ?domains ?checkpoint_dir world
+  of_world ?progress ?k ?domains ?checkpoint_dir ?only_passes world
 
-let extend ?progress ?domains ?checkpoint_dir t new_scans =
+let extend ?progress ?domains ?checkpoint_dir ?only_passes t new_scans =
   let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
   let scans, monthly =
     Stage.run sctx "scan" (fun () ->
@@ -309,19 +274,20 @@ let extend ?progress ?domains ?checkpoint_dir t new_scans =
   let corpus = Store.to_array store in
   let pool = Parallel.Pool.get ?domains () in
   (match progress with
-   | Some f ->
-     f
-       (Printf.sprintf "delta batch GCD: %d new moduli against %d cached"
-          (Array.length fresh) (Inc.corpus_size t.inc))
-   | None -> ());
+  | Some f ->
+    f
+      (Printf.sprintf "delta batch GCD: %d new moduli against %d cached"
+         (Array.length fresh) (Inc.corpus_size t.inc))
+  | None -> ());
   let inc =
     Stage.run_cached sctx "batchgcd"
       ~key:(corpus_key corpus "/extend")
       ~save:Inc.save ~load:Inc.load
       (fun () -> Inc.extend ~pool t.inc fresh)
   in
-  finish sctx t.world scans monthly t.protocol_snapshots https_moduli store
-    corpus inc
+  finish sctx ~pool ?only_passes
+    ~checkpointed:(checkpoint_dir <> None)
+    t.world scans monthly t.protocol_snapshots https_moduli store corpus inc
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -334,24 +300,37 @@ let is_vulnerable t n =
   | Some id -> Id_set.mem t.vuln_index id
   | None -> false
 
+(* Derived views over the attribution table: what used to be bespoke
+   pipeline fields is each pass's artifact now. *)
+let cliques t = Option.value ~default:[] (Attribution.cliques t.attribution)
+let shared t = Attribution.shared t.attribution
+let rimon t = Option.value ~default:[] (Attribution.mitm t.attribution)
+let openssl_table t = Attribution.openssl_table t.attribution
+let passes_run t = Stage.timings_named "pass:" t.timings
+
+let cert_label t fp =
+  match Attribution.cert_labels t.attribution with
+  | None -> None
+  | Some labels -> (
+    match Hashtbl.find_opt labels fp with Some l -> l | None -> None)
+
 let vendor_of_record t (r : Sc.host_record) =
-  let fp = cert_fingerprint t.fp_cache r.Sc.cert in
-  match Hashtbl.find_opt t.cert_label_index fp with
-  | Some (Some { Fingerprint.Rules.vendor; _ }) -> Some vendor
-  | _ -> (
+  match cert_label t (t.cert_fp r.Sc.cert) with
+  | Some { Fingerprint.Rules.vendor; _ } -> Some vendor
+  | None -> (
     match id_of t (modulus_of_record r) with
     | None -> None
     | Some id ->
-      if Id_set.mem t.clique_index id then Some "IBM"
-      else (
-        match t.factored_index.(id) with
-        | Some f -> Fingerprint.Shared_prime.label_modulus t.shared f
-        | None -> None))
+      (* The certificate matched no rule: fall back to what the
+         modulus itself proves — clique membership, then shared-prime
+         pools — never the subject majority of other certificates. *)
+      Attribution.vendor_of
+        ~use:[ Evidence.Prime_clique; Evidence.Shared_prime ]
+        t.attribution id)
 
 let model_of_record t (r : Sc.host_record) =
-  let fp = cert_fingerprint t.fp_cache r.Sc.cert in
-  match Hashtbl.find_opt t.cert_label_index fp with
-  | Some (Some { Fingerprint.Rules.model_id = Some m; _ }) -> Some m
+  match cert_label t (t.cert_fp r.Sc.cert) with
+  | Some { Fingerprint.Rules.model_id = Some m; _ } -> Some m
   | _ -> None
 
 let vulnerable_https_host_records t =
@@ -370,7 +349,7 @@ let vulnerable_https_certs t =
       Array.iter
         (fun (r : Sc.host_record) ->
           if is_vulnerable t (modulus_of_record r) then
-            Hashtbl.replace seen (cert_fingerprint t.fp_cache r.Sc.cert) ())
+            Hashtbl.replace seen (t.cert_fp r.Sc.cert) ())
         s.Sc.records)
     t.scans;
   Hashtbl.length seen
@@ -392,18 +371,17 @@ let labeled_factored t =
       let label =
         match id_of t f.Fp.modulus with
         | None -> None
-        | Some id -> (
-          match t.subject_label_index.(id) with
-          | Some v -> Some v
-          | None ->
-            if Id_set.mem t.clique_index id then Some "IBM"
-            else Fingerprint.Shared_prime.label_modulus t.shared f)
+        | Some id -> Attribution.vendor_of t.attribution id
       in
       (f, label))
     t.factored
 
 let suspected_bit_errors t =
-  let bits = (Netsim.World.config t.world).Netsim.World.modulus_bits in
-  List.filter
-    (fun n -> Fingerprint.Bit_errors.suspicious ~bits n)
-    (List.map (fun f -> f.BG.modulus) t.findings)
+  match Attribution.bit_error_triage t.attribution with
+  | Some (suspects, _) -> suspects
+  | None -> []
+
+let bit_error_summary t =
+  match Attribution.bit_error_triage t.attribution with
+  | Some (suspects, near) -> Some (List.length suspects, near)
+  | None -> None

@@ -1,16 +1,26 @@
 (** The end-to-end study: simulate the internet, aggregate six years of
-    scans, batch-GCD the full key corpus, fingerprint implementations,
+    scans, batch-GCD the full key corpus, run the attribution passes,
     and expose labeled, queryable results. This is the library's main
     entry point; {!Report} renders every table and figure from it.
 
     The pipeline is a chain of named stages
-    (scan → intern → batchgcd → fingerprint → label → index) run
+    (scan → intern → batchgcd → fingerprint → index → attribution) run
     through the {!Stage} graph runner: every distinct modulus is
     interned to a dense id in a {!Corpus.Store} and downstream indexes
     are id-keyed arrays and bitsets; the expensive GCD stage keeps its
     product-tree forest ({!Batchgcd.Incremental.t}) and can checkpoint
     it to disk; {!extend} folds a fresh scan snapshot into an existing
-    pipeline paying only for the delta. *)
+    pipeline paying only for the delta.
+
+    The attribution stage replaces the former hand-written
+    fingerprint/label chain: every technique is a registered
+    {!Fingerprint.Pass.t} ({!Fingerprint.Registry.builtin}),
+    topologically scheduled by declared deps, run concurrently on the
+    {!Parallel.Pool} where independent, and merged into one typed
+    {!Fingerprint.Attribution.t} evidence table. Per-pass wall clocks
+    appear in {!type-t.timings} as ["pass:NAME"] entries, and with a
+    checkpoint directory the whole table is content-addressed and
+    restorable like the GCD artifact. *)
 
 type t = {
   world : Netsim.World.t;
@@ -31,19 +41,16 @@ type t = {
   factored : Fingerprint.Factored.t list;
   unrecovered : Bignum.Nat.t list;
       (** flagged moduli that did not split into two primes *)
-  cliques : Fingerprint.Ibm_clique.clique list;
-  shared : Fingerprint.Shared_prime.t;
-  rimon : Fingerprint.Rimon.detection list;
+  attribution : Fingerprint.Attribution.t;
+      (** the merged evidence table every query below reads *)
   (* Precomputed id-keyed indexes (caches; use the query functions
      below). *)
   vuln_index : Corpus.Id_set.t;
-  cert_label_index : (string, Fingerprint.Rules.label option) Hashtbl.t;
-  subject_label_index : string option array;  (** per store id *)
   factored_index : Fingerprint.Factored.t option array;  (** per store id *)
-  clique_index : Corpus.Id_set.t;
-  fp_cache : (X509lite.Certificate.t, string) Hashtbl.t;
-      (** per-run certificate-fingerprint memo; bounded by this run's
-          certificate population, unlike the former process global *)
+  cert_fp : X509lite.Certificate.t -> string;
+      (** per-run memoized certificate fingerprint (mutex-protected,
+          safe from pool domains); bounded by this run's certificate
+          population, unlike the former process global *)
   timings : Stage.timing list;  (** per-stage wall clock, in order *)
 }
 
@@ -52,52 +59,62 @@ val run :
   ?k:int ->
   ?domains:int ->
   ?checkpoint_dir:string ->
+  ?only_passes:string list ->
   Netsim.World.config -> t
 (** Build the world and run the whole measurement pipeline. [k] is the
     subset count for the distributed batch GCD (default 16, the
     paper's value; clamped to the corpus size). [domains] sizes the
     persistent {!Parallel.Pool} used for key generation, the k-subset
-    fan-out and the level-parallel tree kernels (default: the
-    hardware's recommended domain count, overridable via the
-    [WEAKKEYS_DOMAINS] environment variable). [checkpoint_dir] enables
-    checkpoint/resume for the GCD stage: the finished
-    {!Batchgcd.Incremental} state is written there, and a rerun over
-    the identical corpus restores it instead of recomputing. *)
+    fan-out, the level-parallel tree kernels and the attribution
+    passes (default: the hardware's recommended domain count,
+    overridable via the [WEAKKEYS_DOMAINS] environment variable).
+    [checkpoint_dir] enables checkpoint/resume for the GCD and
+    attribution stages: finished artifacts are written there, and a
+    rerun over the identical inputs restores them instead of
+    recomputing. [only_passes] restricts the attribution stage to the
+    named passes closed over their deps
+    ({!Fingerprint.Registry.select}); report sections whose pass did
+    not run render as explicitly skipped.
+    @raise Fingerprint.Registry.Unknown_pass on an unknown pass name. *)
 
 val of_world :
   ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
-  ?checkpoint_dir:string ->
+  ?checkpoint_dir:string -> ?only_passes:string list ->
   Netsim.World.t -> t
 (** Same, reusing an already-built world. *)
 
 val of_scans :
   ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
-  ?checkpoint_dir:string ->
+  ?checkpoint_dir:string -> ?only_passes:string list ->
   Netsim.World.t -> Netsim.Scanner.scan list -> t
 (** Same, from an explicit scan list (the snapshot-ingest entry point:
     pair with {!extend} to fold in later snapshots). *)
 
 val extend :
   ?progress:(string -> unit) -> ?domains:int ->
-  ?checkpoint_dir:string ->
+  ?checkpoint_dir:string -> ?only_passes:string list ->
   t -> Netsim.Scanner.scan list -> t
 (** [extend t new_scans] folds a fresh batch of scans into the
     pipeline: new distinct moduli are interned after the existing ids,
     the cached product-tree forest is extended with one delta tree
     ({!Batchgcd.Incremental.extend} — no old tree is rebuilt), and the
-    fingerprint/label/index stages rerun over the combined corpus.
-    Findings are exactly those of a from-scratch run over the union.
-    [t] itself is not mutated and remains usable. *)
+    fingerprint/index/attribution stages rerun over the combined
+    corpus. Findings are exactly those of a from-scratch run over the
+    union. [t] itself is not mutated and remains usable. *)
 
 (** {1 Queries} *)
 
 val is_vulnerable : t -> Bignum.Nat.t -> bool
 (** Membership in the batch-GCD-flagged modulus set. *)
 
+val id_of : t -> Bignum.Nat.t -> int option
+(** Store id of a modulus seen by this pipeline. *)
+
 val vendor_of_record :
   t -> Netsim.Scanner.host_record -> string option
-(** Full labeling: subject rules (with page content), then the IBM
-    clique, then shared-prime extrapolation. *)
+(** Full labeling: subject rules (with page content), then — for
+    certificates matching no rule — what the record's modulus itself
+    proves: IBM-clique membership, then shared-prime extrapolation. *)
 
 val model_of_record :
   t -> Netsim.Scanner.host_record -> string option
@@ -112,12 +129,34 @@ val vulnerable_by_protocol :
 
 val labeled_factored :
   t -> (Fingerprint.Factored.t * string option) list
-(** Factored moduli with their final vendor labels. *)
+(** Factored moduli with their final vendor labels (full
+    {!Fingerprint.Attribution.vendor_of} merge). *)
 
 val suspected_bit_errors : t -> Bignum.Nat.t list
-(** Flagged moduli that are not well-formed RSA moduli. *)
+(** Flagged moduli that are not well-formed RSA moduli (empty when the
+    [bit-errors] pass did not run). *)
+
+val bit_error_summary : t -> (int * int) option
+(** (suspect count, near-corpus count) from the bit-error triage
+    artifact; [None] when the pass did not run. *)
+
+(** {1 Derived views}
+
+    What used to be bespoke pipeline fields, read from the pass
+    artifacts in the attribution table. Option-returning views are
+    [None] when the owning pass was excluded via [only_passes]. *)
+
+val cliques : t -> Fingerprint.Ibm_clique.clique list
+val shared : t -> Fingerprint.Shared_prime.t option
+val rimon : t -> Fingerprint.Rimon.detection list
+
+val openssl_table :
+  t -> (string * Fingerprint.Openssl_fp.verdict * int) list option
+
+val passes_run : t -> Stage.timing list
+(** The ["pass:NAME"] timing entries, in execution order. *)
 
 val majority_vendor : (string * int) list -> string option
 (** Winner of a vendor vote tally: highest count, ties broken by the
     lexicographically smallest vendor name — deterministic no matter
-    the ballot order. Exposed for the tie-break regression test. *)
+    the ballot order (re-exported from {!Fingerprint.Attribution}). *)

@@ -121,11 +121,14 @@ let table4 t =
   Buffer.contents buf
 
 let table5 t =
-  let entries = Pipeline.labeled_factored t in
-  let rows = Fingerprint.Openssl_fp.classify_vendors entries in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (header "Table 5: OpenSSL prime fingerprint by vendor");
+  match Pipeline.openssl_table t with
+  | None ->
+    Buffer.add_string buf "  (openssl-fingerprint pass not run)\n";
+    Buffer.contents buf
+  | Some rows ->
   Buffer.add_string buf
     (Printf.sprintf "  (random-prime baseline: %.1f%% satisfy)\n"
        (100.0 *. Fingerprint.Openssl_fp.satisfy_probability_random ()));
@@ -234,12 +237,13 @@ let figure4 t =
 
 let figure5 t =
   let clique_info =
-    match t.Pipeline.cliques with
-    | c :: _ ->
+    match Fingerprint.Attribution.cliques t.Pipeline.attribution with
+    | Some (c :: _) ->
       Printf.sprintf "largest prime-pool clique: %d moduli from %d primes\n"
         (List.length c.Fingerprint.Ibm_clique.moduli)
         (List.length c.Fingerprint.Ibm_clique.primes)
-    | [] -> "no prime-pool clique detected\n"
+    | Some [] -> "no prime-pool clique detected\n"
+    | None -> "(ibm-clique pass not run)\n"
   in
   annotated_vendor_figure t ~fig:"Figure 5: IBM RSA-II / BladeCenter"
     ~vendor_name:"IBM"
@@ -342,9 +346,10 @@ let rimon_section t =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (header "Section 3.3.3: ISP man-in-the-middle key substitution");
-  (match t.Pipeline.rimon with
-  | [] -> Buffer.add_string buf "  no substituted keys detected\n"
-  | ds ->
+  (match Fingerprint.Attribution.mitm t.Pipeline.attribution with
+  | None -> Buffer.add_string buf "  (mitm-substitution pass not run)\n"
+  | Some [] -> Buffer.add_string buf "  no substituted keys detected\n"
+  | Some ds ->
     List.iter
       (fun (d : Fingerprint.Rimon.detection) ->
         Buffer.add_string buf
@@ -359,37 +364,35 @@ let rimon_section t =
   Buffer.contents buf
 
 let bit_error_section t =
-  let suspects = Pipeline.suspected_bit_errors t in
-  let known n = Corpus.Store.mem t.Pipeline.store n in
-  let with_neighbor =
-    List.filter
-      (fun n -> Fingerprint.Bit_errors.bitflip_neighbor ~known n <> None)
-      suspects
-  in
   header "Section 3.3.5: non-well-formed moduli (bit errors)"
-  ^ Printf.sprintf
+  ^
+  match Pipeline.bit_error_summary t with
+  | None -> "  (bit-errors pass not run)\n"
+  | Some (suspects, near_corpus) ->
+    Printf.sprintf
       "  flagged moduli that are not well-formed RSA moduli: %d\n\
       \  of which one bit-flip away from a corpus modulus:   %d\n\
       \  (set aside; not treated as flawed implementations)\n"
-      (List.length suspects)
-      (List.length with_neighbor)
+      suspects near_corpus
 
 let overlap_section t =
-  let overlaps = Fingerprint.Shared_prime.overlaps t.Pipeline.shared in
   let buf = Buffer.create 512 in
   Buffer.add_string buf (header "Section 3.3.2: cross-vendor shared primes");
-  (match overlaps with
-  | [] -> Buffer.add_string buf "  no cross-vendor overlaps\n"
-  | os ->
-    List.iter
-      (fun (a, b, _p) ->
-        Buffer.add_string buf
-          (Printf.sprintf "  %s and %s share a prime factor\n" a b))
-      os);
-  let extrapolated = Fingerprint.Shared_prime.extrapolated t.Pipeline.shared in
-  Buffer.add_string buf
-    (Printf.sprintf "  certificates labeled only via shared primes: %d\n"
-       (List.length extrapolated));
+  (match Pipeline.shared t with
+  | None -> Buffer.add_string buf "  (shared-prime pass not run)\n"
+  | Some shared ->
+    (match Fingerprint.Shared_prime.overlaps shared with
+    | [] -> Buffer.add_string buf "  no cross-vendor overlaps\n"
+    | os ->
+      List.iter
+        (fun (a, b, _p) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s and %s share a prime factor\n" a b))
+        os);
+    let extrapolated = Fingerprint.Shared_prime.extrapolated shared in
+    Buffer.add_string buf
+      (Printf.sprintf "  certificates labeled only via shared primes: %d\n"
+         (List.length extrapolated)));
   Buffer.contents buf
 
 let response_correlation_section t =

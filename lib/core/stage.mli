@@ -44,5 +44,13 @@ val run_cached :
     failures ({!Corpus.Io.Corrupt}, truncation) count as a miss, not
     an error. *)
 
+val note : ctx -> string -> seconds:float -> unit
+(** Record an externally-timed step (e.g. one attribution pass whose
+    wall clock the scheduler already measured) in the timing table. *)
+
+val timings_named : string -> timing list -> timing list
+(** Timings whose stage name starts with the given prefix, in
+    execution order — e.g. ["pass:"] for the attribution passes. *)
+
 val timings : ctx -> timing list
 (** Stages in execution order. *)

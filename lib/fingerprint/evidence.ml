@@ -1,0 +1,53 @@
+type technique =
+  | Subject_rule
+  | Prime_clique
+  | Shared_prime
+  | Openssl_fingerprint
+  | Bit_error
+  | Mitm_substitution
+
+let technique_name = function
+  | Subject_rule -> "subject-rule"
+  | Prime_clique -> "prime-clique"
+  | Shared_prime -> "shared-prime"
+  | Openssl_fingerprint -> "openssl-fingerprint"
+  | Bit_error -> "bit-error"
+  | Mitm_substitution -> "mitm-substitution"
+
+let rank = function
+  | Subject_rule -> 0
+  | Prime_clique -> 1
+  | Shared_prime -> 2
+  | Openssl_fingerprint -> 3
+  | Bit_error -> 4
+  | Mitm_substitution -> 5
+
+type t = {
+  subject : int;
+  technique : technique;
+  vendor : string option;
+  model_id : string option;
+  confidence : float;
+  weight : int;
+  witnesses : int list;
+}
+
+let make ~subject ~technique ?vendor ?model_id ?(confidence = 1.0)
+    ?(weight = 1) ?(witnesses = []) () =
+  { subject; technique; vendor; model_id; confidence; weight; witnesses }
+
+let equal_opt a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> String.equal a b
+  | _ -> false
+
+let equal a b =
+  Int.equal a.subject b.subject
+  && a.technique = b.technique
+  && equal_opt a.vendor b.vendor
+  && equal_opt a.model_id b.model_id
+  && Float.equal a.confidence b.confidence
+  && Int.equal a.weight b.weight
+  && List.length a.witnesses = List.length b.witnesses
+  && List.for_all2 Int.equal a.witnesses b.witnesses

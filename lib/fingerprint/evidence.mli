@@ -1,0 +1,54 @@
+(** Typed attribution evidence.
+
+    Every fingerprinting technique reports its conclusions as
+    {!t} values — "this store id belongs to this vendor (and maybe
+    product line), according to this technique, with these witnesses"
+    — which the {!Attribution} table merges under a fixed precedence.
+    A technique with nothing vendor-shaped to say (bit-error triage,
+    MITM detection) still emits evidence with [vendor = None]: the
+    observation is recorded against the modulus but never wins a
+    vendor vote. *)
+
+type technique =
+  | Subject_rule  (** certificate subject / page-content rules *)
+  | Prime_clique  (** tiny-prime-pool clique membership (IBM RSA-II) *)
+  | Shared_prime  (** shared-prime pool extrapolation *)
+  | Openssl_fingerprint  (** Mironov prime-structure fingerprint *)
+  | Bit_error  (** non-well-formed modulus triage *)
+  | Mitm_substitution  (** ISP key-substitution detection *)
+
+val technique_name : technique -> string
+
+val rank : technique -> int
+(** Merge precedence; smaller is stronger. Subject rules beat clique
+    membership beat shared-prime extrapolation beat the remaining
+    heuristics — the order the hand-written labeling chain applied. *)
+
+type t = {
+  subject : int;  (** store id of the modulus the claim is about *)
+  technique : technique;
+  vendor : string option;  (** vendor claim; [None] = observation only *)
+  model_id : string option;  (** product-line claim, when determinable *)
+  confidence : float;
+      (** informational strength in [0, 1]; the merge uses technique
+          rank and vote weight, never this number *)
+  weight : int;  (** vote weight (e.g. host records seen), >= 1 *)
+  witnesses : int list;
+      (** store ids of moduli supporting the claim (clique co-members,
+          pool mates); [] for direct observations *)
+}
+
+val make :
+  subject:int ->
+  technique:technique ->
+  ?vendor:string ->
+  ?model_id:string ->
+  ?confidence:float ->
+  ?weight:int ->
+  ?witnesses:int list ->
+  unit ->
+  t
+(** Defaults: [confidence = 1.0], [weight = 1], [witnesses = []]. *)
+
+val equal : t -> t -> bool
+(** Structural equality, field by field. *)

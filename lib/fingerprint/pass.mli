@@ -1,0 +1,55 @@
+(** The attribution pass interface.
+
+    A pass is one fingerprinting technique packaged behind a uniform
+    surface: a name, the names of the passes whose evidence it needs,
+    and a [run] over a shared read-only {!Ctx.t}. Adding a technique
+    to the study means writing one pass and registering it
+    ({!Registry}) — the pipeline, report and CLI pick it up without
+    modification. *)
+
+module Ctx : sig
+  (** Everything a technique may read, assembled once by the pipeline
+      before any pass runs. Passes execute concurrently on the domain
+      pool, so treat every component as read-only; private scratch
+      state (local stores, tables) is fine. *)
+  type t = {
+    store : Corpus.Store.t;  (** interned corpus: modulus -> dense id *)
+    corpus : Bignum.Nat.t array;  (** [corpus.(id)] is the modulus *)
+    findings : Batchgcd.Batch_gcd.finding list;
+        (** batch-GCD output; a finding's [index] is its store id *)
+    factored : Factored.t list;  (** findings split into p * q *)
+    factored_index : Factored.t option array;  (** per store id *)
+    unrecovered : Bignum.Nat.t list;
+        (** flagged moduli that did not split into two primes *)
+    scans : Netsim.Scanner.scan list;  (** all raw scans *)
+    page_titles : (string, string) Hashtbl.t;
+        (** certificate fingerprint -> an observed page title *)
+    cert_fp : X509lite.Certificate.t -> string;
+        (** memoized certificate fingerprint; safe to call from
+            concurrently running passes *)
+    modulus_bits : int;  (** the world's RSA modulus size *)
+  }
+end
+
+type result = {
+  evidence : Evidence.t list;
+      (** claims to merge into the attribution table; emit these in a
+          deterministic order — the scheduler inserts them verbatim *)
+  artifacts : Attribution.artifact list;
+      (** whole-technique outputs for the report (at most one each) *)
+}
+
+type t = {
+  name : string;  (** unique registry key, kebab-case *)
+  deps : string list;
+      (** passes whose evidence must be in the table before [run];
+          the scheduler orders and parallelizes from these *)
+  doc : string;  (** one-line description for [weakkeys_cli passes] *)
+  run : Ctx.t -> Attribution.t -> result;
+      (** [run ctx attr]: [attr] holds the evidence of every completed
+          dependency (and possibly unrelated passes); read it via the
+          query functions, never mutate it — the scheduler owns all
+          writes *)
+}
+
+val empty_result : result

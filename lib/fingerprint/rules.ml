@@ -3,14 +3,7 @@ module Cert = X509lite.Certificate
 
 type label = { vendor : string; model_id : string option }
 
-let contains hay needle =
-  let hl = String.length hay and nl = String.length needle in
-  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
-  nl = 0 || go 0
-
-let ends_with s suffix =
-  let sl = String.length s and fl = String.length suffix in
-  sl >= fl && String.sub s (sl - fl) fl = suffix
+let contains = Stringx.contains
 
 let cisco_model ou =
   match ou with
@@ -38,7 +31,7 @@ let of_certificate ?page_title cert =
   else if contains o "THOMSON" then vm "Technicolor" "thomson-tg"
   else if
     List.exists (fun s -> contains s "fritz.box") sans
-    || ends_with cn ".myfritz.net"
+    || Stringx.ends_with ~suffix:".myfritz.net" cn
   then vm "AVM" "fritzbox"
   else if contains o "Cisco-Linksys" then vm "Linksys" "linksys-wrv"
   else if contains o "Fortinet" then vm "Fortinet" "fortinet-fgt"

@@ -71,3 +71,5 @@ let overlaps t =
     pairs sorted
   done;
   !out
+
+let entries t = t.entries

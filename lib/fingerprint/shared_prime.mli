@@ -27,3 +27,8 @@ val overlaps : t -> (string * string * Bignum.Nat.t) list
 (** Vendor pairs that share a prime, with a witness prime — the
     Dell/Xerox and IBM/Siemens stories. Each unordered pair reported
     once. *)
+
+val entries : t -> (Factored.t * string option) list
+(** The labeled input entries, as given to {!build} — the pools are a
+    deterministic function of these, so serializing a pool table means
+    serializing its entries and rebuilding. *)

@@ -11,9 +11,7 @@ type finding = {
 (* Suppressions                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let starts_with prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+let starts_with prefix s = Stringx.starts_with ~prefix s
 
 let drop_prefix prefix s =
   String.trim (String.sub s (String.length prefix)

@@ -22,14 +22,10 @@ type t = {
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let starts_with prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
-let ends_with suffix s =
-  String.length s >= String.length suffix
-  && String.sub s (String.length s - String.length suffix) (String.length suffix)
-     = suffix
+(* Affix checks come from the shared [Stringx] util; the thin aliases
+   keep the positional call sites below readable. *)
+let starts_with prefix s = Stringx.starts_with ~prefix s
+let ends_with suffix s = Stringx.ends_with ~suffix s
 
 let strip_stdlib s =
   if starts_with "Stdlib." s then
@@ -395,6 +391,40 @@ let limbs_keyed_hashtbl ctx =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Rule 13: fingerprint techniques run through the pass registry       *)
+(* ------------------------------------------------------------------ *)
+
+(* The attribution engine is the single place where attribution
+   techniques execute: every caller outside lib/fingerprint gets its
+   vendor labels from the merged Attribution table, so ad-hoc calls to
+   a technique's entry point bypass the registry's dependency order,
+   evidence merge and per-pass timing. Reads of pass artifacts
+   (Shared_prime.overlaps, Openssl_fp.satisfy_probability_random, …)
+   stay legal; only the entry points that *run* a technique are
+   flagged. Tests exercise techniques in isolation by design. *)
+let technique_entry_points =
+  [ "Rules.of_certificate"; "Rules.of_record"; "Ibm_clique.detect";
+    "Shared_prime.build"; "Rimon.detect"; "Openssl_fp.classify";
+    "Openssl_fp.classify_vendors"; "Bit_errors.suspicious";
+    "Bit_errors.partition"; "Bit_errors.bitflip_neighbor" ]
+
+let fingerprint_outside_registry ctx =
+  if in_dir "lib/fingerprint" ctx.path || in_dir "test" ctx.path then []
+  else
+    flag_idents
+      (fun s ->
+        let s =
+          if starts_with "Fingerprint." s then
+            String.sub s 12 (String.length s - 12)
+          else s
+        in
+        List.mem s technique_entry_points)
+      (fun s ->
+        Printf.sprintf
+          "fingerprint technique entry point `%s` outside the pass registry" s)
+      ctx
+
+(* ------------------------------------------------------------------ *)
 (* Catalogue                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -484,6 +514,16 @@ let all =
         "intern the value with Corpus.Store and key on the dense int id \
          (int-keyed Hashtbl, array or Corpus.Id_set)";
       check = limbs_keyed_hashtbl };
+    { id = "fingerprint-outside-registry";
+      severity = Warning;
+      doc =
+        "attribution techniques run only as registered passes; direct \
+         calls to their entry points outside lib/fingerprint bypass the \
+         registry's dependency order, evidence merge and timings";
+      hint =
+        "query Fingerprint.Attribution (or a Pipeline derived view), or \
+         register a new Pass in Fingerprint.Registry";
+      check = fingerprint_outside_registry };
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

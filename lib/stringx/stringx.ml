@@ -1,0 +1,43 @@
+(* Knuth–Morris–Pratt substring search. [fail.(i)] is the length of
+   the longest proper prefix of [needle] that is also a suffix of
+   [needle.[0..i]]; on a mismatch the scan resumes there instead of
+   rewinding the haystack, so each haystack byte is read once. *)
+let contains hay needle =
+  let nl = String.length needle in
+  if nl = 0 then true
+  else begin
+    let fail = Array.make nl 0 in
+    let k = ref 0 in
+    for i = 1 to nl - 1 do
+      while !k > 0 && needle.[i] <> needle.[!k] do
+        k := fail.(!k - 1)
+      done;
+      if needle.[i] = needle.[!k] then incr k;
+      fail.(i) <- !k
+    done;
+    let hl = String.length hay in
+    let q = ref 0 in
+    let i = ref 0 in
+    while !q < nl && !i < hl do
+      while !q > 0 && hay.[!i] <> needle.[!q] do
+        q := fail.(!q - 1)
+      done;
+      if hay.[!i] = needle.[!q] then incr q;
+      incr i
+    done;
+    !q = nl
+  end
+
+let starts_with ~prefix s =
+  let pl = String.length prefix and sl = String.length s in
+  pl <= sl
+  &&
+  let rec go i = i >= pl || (prefix.[i] = s.[i] && go (i + 1)) in
+  go 0
+
+let ends_with ~suffix s =
+  let fl = String.length suffix and sl = String.length s in
+  fl <= sl
+  &&
+  let rec go i = i >= fl || (suffix.[i] = s.[sl - fl + i] && go (i + 1)) in
+  go 0

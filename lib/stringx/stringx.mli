@@ -1,0 +1,15 @@
+(** Shared string predicates.
+
+    One home for the substring/affix helpers that used to be
+    duplicated across [lib/fingerprint] and [lib/lint]. Everything is
+    allocation-free except the one failure-table array {!contains}
+    builds per needle. *)
+
+val contains : string -> string -> bool
+(** [contains hay needle] — substring search via Knuth–Morris–Pratt:
+    a single pass over [hay] after an [O(needle)] failure-table build,
+    [O(hay + needle)] worst case (the previous naive scan re-compared
+    up to [needle] bytes at every position). [needle = ""] is [true]. *)
+
+val starts_with : prefix:string -> string -> bool
+val ends_with : suffix:string -> string -> bool

@@ -1,0 +1,111 @@
+(* Golden-report regression tests.
+
+   The full [Report] text for fixed small worlds is snapshotted under
+   test/golden/ and asserted byte-equal here. The snapshots were
+   generated from the pre-attribution-engine pipeline, so they pin the
+   refactor to byte-identical output; they also pin pooled multi-pass
+   execution to the [domains:1] result.
+
+   Regenerate (after an intentional output change) with:
+
+     WEAKKEYS_GOLDEN_UPDATE=$PWD/test/golden dune exec test/test_main.exe -- test golden
+*)
+
+module P = Weakkeys.Pipeline
+module R = Weakkeys.Report
+
+(* [dune runtest] runs in _build/default/test (snapshots staged by the
+   dune deps glob); a manual [dune exec test/test_main.exe] runs from
+   the project root. Resolve whichever is present. *)
+let golden_dir =
+  if Sys.file_exists "golden" && Sys.is_directory "golden" then "golden"
+  else Filename.concat "test" "golden"
+
+let golden_file name = Filename.concat golden_dir (name ^ ".txt")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+(* Byte-equality with a readable first-difference diagnostic: a raw
+   Alcotest string check on a 30k-character report is unreadable. *)
+let check_equal_text what expected actual =
+  if not (String.equal expected actual) then begin
+    let n = Stdlib.min (String.length expected) (String.length actual) in
+    let i = ref 0 in
+    while !i < n && expected.[!i] = actual.[!i] do
+      incr i
+    done;
+    let context s =
+      let from = Stdlib.max 0 (!i - 80) in
+      let len = Stdlib.min (String.length s - from) 160 in
+      String.sub s from len
+    in
+    Alcotest.failf
+      "%s: output differs at byte %d (lengths %d vs %d)\n\
+       --- expected ---\n%s\n--- actual ---\n%s"
+      what !i
+      (String.length expected)
+      (String.length actual)
+      (context expected) (context actual)
+  end
+
+let check_golden name report =
+  match Sys.getenv_opt "WEAKKEYS_GOLDEN_UPDATE" with
+  | Some dir ->
+    write_file (Filename.concat dir (name ^ ".txt")) report;
+    Printf.printf "updated %s/%s.txt (%d bytes)\n" dir name
+      (String.length report)
+  | None ->
+    let path = golden_file name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf "missing golden snapshot %s (run with WEAKKEYS_GOLDEN_UPDATE)"
+        path;
+    check_equal_text name (read_file path) report
+
+(* Seed "test-world" rides on the shared fixture pipeline; the other
+   two seeds get their own (smaller) worlds so three independent seeds
+   pin the output. *)
+let golden_world seed =
+  Netsim.World.build
+    { Netsim.World.default_config with Netsim.World.seed; scale = 0.03 }
+
+let test_golden_test_world () =
+  let p = Lazy.force Worlds.small_pipeline in
+  check_golden "report-test-world" (R.full_report p)
+
+let test_golden_seed_b () =
+  let p = P.of_world (golden_world "golden-b") in
+  check_golden "report-golden-b" (R.full_report p)
+
+let test_golden_seed_c () =
+  let p = P.of_world (golden_world "golden-c") in
+  check_golden "report-golden-c" (R.full_report p)
+
+(* Pooled pass execution must equal a fully sequential (domains:1)
+   run, byte for byte. *)
+let test_domains1_equals_pooled () =
+  let world = golden_world "golden-b" in
+  let pooled = R.full_report (P.of_world world) in
+  let seq = R.full_report (P.of_world ~domains:1 world) in
+  check_equal_text "domains:1 vs pooled" seq pooled
+
+let tests =
+  [
+    Alcotest.test_case "report matches golden (test-world)" `Slow
+      test_golden_test_world;
+    Alcotest.test_case "report matches golden (golden-b)" `Slow
+      test_golden_seed_b;
+    Alcotest.test_case "report matches golden (golden-c)" `Slow
+      test_golden_seed_c;
+    Alcotest.test_case "domains:1 report equals pooled report" `Slow
+      test_domains1_equals_pooled;
+  ]

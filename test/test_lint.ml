@@ -23,7 +23,7 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "twelve rules" 12 (List.length R.all);
+  Alcotest.(check int) "thirteen rules" 13 (List.length R.all);
   Alcotest.(check int) "ids unique"
     (List.length R.all)
     (List.length (List.sort_uniq String.compare
@@ -168,6 +168,23 @@ let test_limbs_keyed_hashtbl () =
   check_clean "to_limbs without a table" "limbs-keyed-hashtbl" ~path
     "let limbs = N.to_limbs m in Array.length limbs"
 
+let test_fingerprint_outside_registry () =
+  let rule = "fingerprint-outside-registry" in
+  let path = "lib/core/report.ml" in
+  check_flagged "qualified technique call" rule ~path
+    "let ds = Fingerprint.Rimon.detect scans";
+  check_flagged "unqualified inside an opened module" rule ~path
+    "let cs = Ibm_clique.detect factored";
+  check_flagged "binaries are in scope" rule ~path:"bin/weakkeys_cli.ml"
+    "let l = Fingerprint.Rules.of_certificate cert";
+  check_clean "artifact reads are legal" rule ~path
+    "let os = Fingerprint.Shared_prime.overlaps shared";
+  check_clean "registry implementation is exempt" rule
+    ~path:"lib/fingerprint/registry.ml" "let ds = Rimon.detect ctx.scans";
+  check_clean "tests exercise techniques directly" rule
+    ~path:"test/test_export.ml"
+    "let ds = Fingerprint.Rimon.detect ~min_ips:5 scans"
+
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -228,6 +245,8 @@ let tests =
       test_domain_outside_parallel;
     Alcotest.test_case "todo-issue-tag" `Quick test_todo_issue_tag;
     Alcotest.test_case "limbs-keyed-hashtbl" `Quick test_limbs_keyed_hashtbl;
+    Alcotest.test_case "fingerprint-outside-registry" `Quick
+      test_fingerprint_outside_registry;
     Alcotest.test_case "suppressions" `Quick test_suppressions;
     Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
   ]

@@ -12,8 +12,10 @@ let () =
       ("batchgcd", Test_batchgcd.tests);
       ("netsim", Test_netsim.tests);
       ("fingerprint", Test_fingerprint.tests);
+      ("attribution", Test_attribution.tests);
       ("analysis", Test_analysis.tests);
       ("pipeline", Test_pipeline.tests);
+      ("golden", Test_golden.tests);
       ("export", Test_export.tests);
       ("lint", Test_lint.tests);
     ]

@@ -165,7 +165,7 @@ let test_newly_vulnerable_rise () =
 
 let test_ibm_clique_found () =
   let p = pipeline () in
-  match p.P.cliques with
+  match P.cliques p with
   | c :: _ ->
     Alcotest.(check bool) "clique has several moduli" true
       (List.length c.Fingerprint.Ibm_clique.moduli >= 4);
@@ -175,7 +175,11 @@ let test_ibm_clique_found () =
 
 let test_ibm_siemens_overlap () =
   let p = pipeline () in
-  let overlaps = Fingerprint.Shared_prime.overlaps p.P.shared in
+  let overlaps =
+    match P.shared p with
+    | Some shared -> Fingerprint.Shared_prime.overlaps shared
+    | None -> Alcotest.fail "shared-prime pass must have run"
+  in
   Alcotest.(check bool)
     (Printf.sprintf "IBM/Siemens among %d overlaps" (List.length overlaps))
     true
