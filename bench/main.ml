@@ -396,6 +396,17 @@ let attribution_group =
               Fingerprint.Registry.builtin);
       ])
 
+(* The linter's own cost: one full --deep pass over lib/ — lexical
+   rules plus module graph, layering, and effect inference — recorded
+   as lint_deep_ms so the semantic pass stays cheap enough to keep
+   inside dune runtest. Uncached on purpose: the bench measures the
+   cold cost, not the content-addressed replay. *)
+let lint_group =
+  Test.make_grouped ~name:"lint"
+    (if Sys.file_exists "lib" then
+       [ t "deep-lib" (fun () -> Lint.Engine.lint_paths ~deep:true [ "lib" ]) ]
+     else [])
+
 (* ---------------- runner ---------------- *)
 
 let force_fixtures () =
@@ -428,7 +439,7 @@ let run_timing () =
       batchgcd_section_3_2; figure2_k_sweep; tree_parallel; delta_ingest;
       ablation_multiplication; toom3_group; recip_group; rem_precomp_group;
       ablation_division; ablation_powmod;
-      ablation_gcd; keygen_styles; substrate; attribution_group;
+      ablation_gcd; keygen_styles; substrate; attribution_group; lint_group;
     ]
   in
   let ols =
@@ -571,6 +582,10 @@ let emit_json rows =
       (match incremental_speedup with
       | Some x -> Printf.fprintf oc "  \"incremental_speedup\": %.2f,\n" x
       | None -> ());
+      (match find "lint/deep-lib" with
+      | Some ns when not (Float.is_nan ns) ->
+        Printf.fprintf oc "  \"lint_deep_ms\": %.1f,\n" (ns /. 1e6)
+      | _ -> ());
       Printf.fprintf oc "  \"speedup\": {%s},\n"
         (String.concat ", "
            (List.filter_map

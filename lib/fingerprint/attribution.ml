@@ -69,13 +69,16 @@ let majority_vendor votes =
    order does not affect the majority, but a stable ballot makes the
    function easy to reason about). *)
 let tally candidates =
-  List.fold_left
-    (fun acc (e, v) ->
-      let w = e.Evidence.weight in
-      if List.mem_assoc v acc then
-        List.map (fun (v', c) -> if String.equal v' v then (v', c + w) else (v', c)) acc
-      else acc @ [ (v, w) ])
-    [] candidates
+  List.rev
+    (List.fold_left
+       (fun acc (e, v) ->
+         let w = e.Evidence.weight in
+         if List.mem_assoc v acc then
+           List.map
+             (fun (v', c) -> if String.equal v' v then (v', c + w) else (v', c))
+             acc
+         else (v, w) :: acc)
+       [] candidates)
 
 let candidates ?use t id =
   let allowed tech =

@@ -38,8 +38,12 @@ let vendors_of_prime t p =
 
 let label_modulus t (f : Factored.t) =
   let vs =
+    (* rev_append keeps this allocation-linear; order is irrelevant
+       under the sort_uniq *)
     List.sort_uniq compare
-      (vendors_of_prime t f.Factored.p @ vendors_of_prime t f.Factored.q)
+      (List.rev_append
+         (vendors_of_prime t f.Factored.p)
+         (vendors_of_prime t f.Factored.q))
   in
   match vs with [ v ] -> Some v | [] | _ :: _ -> None
 

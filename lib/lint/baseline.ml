@@ -1,0 +1,148 @@
+(* Committed finding baseline — the ratchet.
+
+   A baseline is a list of accepted findings keyed on (rule, path,
+   message) with an occurrence count and a human justification. Line
+   numbers are deliberately absent from the key: unrelated edits above
+   a baselined finding must not churn the file. Comparing a run
+   against the baseline partitions into new findings (fail), matched
+   findings (accepted, silent), and stale entries — baselined findings
+   that no longer occur, which also fail so the baseline only ever
+   shrinks by being edited, never by rotting. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  message : string;
+  count : int;
+  justification : string;
+}
+
+type t = entry list
+
+let key e = e.rule ^ "\x00" ^ e.path ^ "\x00" ^ e.message
+
+let finding_key ~rule ~path ~message = rule ^ "\x00" ^ path ^ "\x00" ^ message
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let of_json j =
+  match j with
+  | Json.List items ->
+    let entry = function
+      | Json.Obj _ as o ->
+        let str k =
+          match Json.member k o with
+          | Some (Json.String s) -> Ok s
+          | _ -> Error (Printf.sprintf "baseline entry: missing string %S" k)
+        in
+        let count =
+          match Json.member "count" o with
+          | Some (Json.Int n) when n > 0 -> Ok n
+          | None -> Ok 1
+          | _ -> Error "baseline entry: `count` must be a positive integer"
+        in
+        Result.bind (str "rule") (fun rule ->
+            Result.bind (str "path") (fun path ->
+                Result.bind (str "message") (fun message ->
+                    Result.bind count (fun count ->
+                        let justification =
+                          match Json.member "justification" o with
+                          | Some (Json.String s) -> s
+                          | _ -> ""
+                        in
+                        Ok { rule; path; message; count; justification }))))
+      | _ -> Error "baseline: entries must be objects"
+    in
+    List.fold_left
+      (fun acc item ->
+        Result.bind acc (fun entries ->
+            Result.map (fun e -> e :: entries) (entry item)))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "baseline: top level must be a JSON array"
+
+let load file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | src -> Result.bind (Json.parse src) of_json
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n  {";
+      Printf.bprintf buf "\"rule\": \"%s\", " (Json.escape e.rule);
+      Printf.bprintf buf "\"path\": \"%s\", " (Json.escape e.path);
+      Printf.bprintf buf "\"message\": \"%s\", " (Json.escape e.message);
+      Printf.bprintf buf "\"count\": %d, " e.count;
+      Printf.bprintf buf "\"justification\": \"%s\"}"
+        (Json.escape e.justification))
+    t;
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let save file t =
+  let oc = open_out_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json t))
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type comparison = {
+  fresh : (string * string * string) list;
+      (* (rule, path, message) not in the baseline, deduplicated *)
+  stale : entry list;  (* baselined but no longer occurring *)
+}
+
+let compare_run t findings =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (rule, path, message) ->
+      let k = finding_key ~rule ~path ~message in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    findings;
+  let baselined = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace baselined (key e) e) t;
+  let fresh =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun (rule, path, message) ->
+        let k = finding_key ~rule ~path ~message in
+        if Hashtbl.mem baselined k || Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      findings
+  in
+  let stale =
+    List.filter (fun e -> not (Hashtbl.mem counts (key e))) t
+  in
+  { fresh; stale }
+
+let of_findings ?(justification = "accepted pre-existing finding") findings =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (rule, path, message) ->
+      let k = finding_key ~rule ~path ~message in
+      match Hashtbl.find_opt tbl k with
+      | Some e -> Hashtbl.replace tbl k { e with count = e.count + 1 }
+      | None ->
+        order := k :: !order;
+        Hashtbl.replace tbl k { rule; path; message; count = 1; justification })
+    findings;
+  List.rev_map (fun k -> Hashtbl.find tbl k) !order

@@ -1,0 +1,46 @@
+(** Committed finding baseline — the ratchet.
+
+    Accepted findings keyed on (rule, path, message) with an
+    occurrence count and a justification; line numbers are absent from
+    the key so unrelated edits don't churn the file. A run compared
+    against the baseline fails on findings not in it AND on stale
+    entries (baselined findings that no longer occur), so the baseline
+    only shrinks deliberately. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  message : string;
+  count : int;
+  justification : string;
+}
+
+type t = entry list
+
+val load : string -> (t, string) result
+(** Read and parse a baseline file; [Error] carries a description
+    (missing file, malformed JSON, wrong shape). *)
+
+val of_json : Json.t -> (t, string) result
+(** Decode an already-parsed JSON document (a [load] without the
+    IO). *)
+
+val to_json : t -> string
+
+val save : string -> t -> unit
+
+type comparison = {
+  fresh : (string * string * string) list;
+      (** (rule, path, message) triples not covered by the baseline,
+          deduplicated, in run order. *)
+  stale : entry list;  (** Baselined but no longer occurring. *)
+}
+
+val compare_run : t -> (string * string * string) list -> comparison
+(** Partition a run's (rule, path, message) triples against the
+    baseline. *)
+
+val of_findings :
+  ?justification:string -> (string * string * string) list -> t
+(** Build a baseline from a run, counting duplicates, preserving first
+    appearance order. *)

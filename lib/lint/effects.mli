@@ -1,0 +1,67 @@
+(** Interprocedural effect inference and the pool-capture race
+    detector.
+
+    Every syntactic function gets a direct-effect summary — non-local
+    mutation (ref assignment, [incr]/[decr], record-field stores,
+    known in-place mutators like [Hashtbl.replace] and
+    [Corpus.Store.intern]), IO, and outgoing calls — judged against
+    its own parameters and local binders. A function is effectful when
+    it has direct effects or, transitively through calls resolved via
+    the module graph, any callee is. Element writes [a.(i) <- e] are
+    exempt (disjoint-index fills are the sanctioned pool idiom), as is
+    everything defined in [lib/parallel] and anything the resolver
+    cannot see (stdlib, higher-order parameters) — the bias is
+    under-reporting, never noise.
+
+    Two checks consume the inference: closures or named functions
+    passed to [Parallel.Pool.map] / [parallel_for] / [Pool.init] must
+    not mutate captured state, perform IO, or call anything effectful
+    ([pool-capture-race]); and [lib/fingerprint] pass bodies must
+    treat their [ctx] parameter as read-only ([pass-ctx-mutation]). *)
+
+type write = { target : string; op : string; wline : int }
+
+type fn = {
+  fpath : string;
+  fname : string;  (** [""] for anonymous bindings. *)
+  fline : int;
+  ftop : bool;
+  fstart : int;  (** Token index of the binding keyword (identity). *)
+  writes : write list;  (** Direct non-local mutations. *)
+  io : (string * int) list;  (** IO primitive name, line. *)
+  calls : (string * int) list;  (** Unresolved callee paths, line. *)
+}
+
+type file_info = {
+  path : string;
+  toks : Lexer.token array;
+  bindings : Structure.binding list;
+  summary : Symbols.t;
+  fns : fn list;
+}
+
+type env
+
+type finding = { path : string; line : int; message : string }
+
+val file_info :
+  path:string ->
+  Lexer.token array ->
+  Structure.binding list ->
+  Symbols.t ->
+  file_info
+(** Phase 1: direct-effect summaries for one file. *)
+
+val build_env : Modgraph.t -> file_info list -> env
+(** Phase 2 state: resolution tables plus the transitive-effect
+    memo. *)
+
+val effect_of : env -> fn -> string option
+(** Why the function is effectful (human-readable chain), or [None].
+    Memoized; cycles resolve to pure at the back edge. *)
+
+val check_pool_sites : env -> file_info -> finding list
+(** [pool-capture-race] findings for one file's pool call sites. *)
+
+val check_ctx_readonly : file_info -> finding list
+(** [pass-ctx-mutation] findings: writes through a pass's [ctx]. *)

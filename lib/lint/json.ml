@@ -1,0 +1,211 @@
+(* Minimal JSON reader for the linter's own machine formats: the
+   --json findings output and lint-baseline.json. Covers exactly the
+   subset those emit — objects, arrays, double-quoted strings with the
+   escapes Engine.json_escape produces, integers, floats, booleans and
+   null — and reports the byte offset of the first error. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of int * string
+
+type cursor = { src : string; len : int; mutable i : int }
+
+let error cur msg = raise (Parse_error (cur.i, msg))
+
+let peek cur = if cur.i < cur.len then Some cur.src.[cur.i] else None
+
+let skip_ws cur =
+  while
+    cur.i < cur.len
+    && (match cur.src.[cur.i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    cur.i <- cur.i + 1
+  done
+
+let expect cur c =
+  skip_ws cur;
+  match peek cur with
+  | Some c' when c' = c -> cur.i <- cur.i + 1
+  | _ -> error cur (Printf.sprintf "expected '%c'" c)
+
+let literal cur word value =
+  let n = String.length word in
+  if cur.i + n <= cur.len && String.sub cur.src cur.i n = word then begin
+    cur.i <- cur.i + n;
+    value
+  end
+  else error cur (Printf.sprintf "expected `%s`" word)
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if cur.i >= cur.len then error cur "unterminated string"
+    else
+      let c = cur.src.[cur.i] in
+      cur.i <- cur.i + 1;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if cur.i >= cur.len then error cur "unterminated escape"
+         else
+           let e = cur.src.[cur.i] in
+           cur.i <- cur.i + 1;
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             if cur.i + 4 > cur.len then error cur "truncated \\u escape";
+             let hex = String.sub cur.src cur.i 4 in
+             cur.i <- cur.i + 4;
+             let code =
+               match int_of_string_opt ("0x" ^ hex) with
+               | Some c -> c
+               | None -> error cur "malformed \\u escape"
+             in
+             (* The linter only ever emits \u00XX control escapes; read
+                anything in the BMP as UTF-8 so round-trips stay exact. *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else if code < 0x800 then begin
+               Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+             else begin
+               Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+               Buffer.add_char buf
+                 (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+               Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+             end
+           | _ -> error cur "unknown escape");
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
+
+let parse_number cur =
+  let start = cur.i in
+  let is_num_char c =
+    (c >= '0' && c <= '9')
+    || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while cur.i < cur.len && is_num_char cur.src.[cur.i] do
+    cur.i <- cur.i + 1
+  done;
+  let text = String.sub cur.src start (cur.i - start) in
+  match int_of_string_opt text with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error cur "malformed number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '"' -> String (parse_string cur)
+  | Some '{' ->
+    cur.i <- cur.i + 1;
+    skip_ws cur;
+    if peek cur = Some '}' then begin
+      cur.i <- cur.i + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws cur;
+        let key = parse_string cur in
+        expect cur ':';
+        let v = parse_value cur in
+        fields := (key, v) :: !fields;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' -> cur.i <- cur.i + 1; members ()
+        | Some '}' -> cur.i <- cur.i + 1
+        | _ -> error cur "expected ',' or '}'"
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    cur.i <- cur.i + 1;
+    skip_ws cur;
+    if peek cur = Some ']' then begin
+      cur.i <- cur.i + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value cur in
+        items := v :: !items;
+        skip_ws cur;
+        match peek cur with
+        | Some ',' -> cur.i <- cur.i + 1; elements ()
+        | Some ']' -> cur.i <- cur.i + 1
+        | _ -> error cur "expected ',' or ']'"
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some 'n' -> literal cur "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | _ -> error cur "expected a JSON value"
+
+let parse src =
+  let cur = { src; len = String.length src; i = 0 } in
+  match parse_value cur with
+  | v ->
+    skip_ws cur;
+    if cur.i < cur.len then Error "trailing content after JSON value"
+    else Ok v
+  | exception Parse_error (off, msg) ->
+    Error (Printf.sprintf "offset %d: %s" off msg)
+
+(* ------------------------------------------------------------------ *)
+(* Typed accessors                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_string = function String s -> Some s | _ -> None
+
+let to_int = function Int n -> Some n | _ -> None
+
+let to_list = function List vs -> Some vs | _ -> None
+
+(* Escaping for emitters (Baseline.save and friends) — the exact dual
+   of the string parser above. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

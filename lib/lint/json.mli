@@ -1,0 +1,33 @@
+(** Minimal JSON reader for the linter's own machine formats.
+
+    Parses the subset of JSON that {!Engine.to_json} and
+    [lint-baseline.json] emit: objects, arrays, strings, integers,
+    floats, booleans and [null]. No dependency outside the stdlib, so
+    the lint library stays standalone. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-input parse; trailing non-whitespace is an error. The error
+    string carries the byte offset of the first problem. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val to_string : t -> string option
+
+val to_int : t -> int option
+
+val to_list : t -> t list option
+
+val escape : string -> string
+(** JSON string-body escaping, the exact dual of the parser: quote,
+    backslash, and control characters become escapes; everything else
+    passes through byte-for-byte. *)

@@ -1,0 +1,122 @@
+(* Cross-file symbol and module-dependency graph.
+
+   Built from the per-file Symbols summaries: every compilation unit
+   is a node; a qualified reference, [open], or module alias whose
+   root resolves to another unit directory is a cross-unit edge.
+   Resolution mirrors how dune wraps libraries: [lib/bignum] is the
+   module [Bignum] (capitalised last path segment, with an override
+   table for libraries whose dune name differs from the directory,
+   like [lib/core] = [Weakkeys]); a root that names a sibling module
+   in the same directory resolves locally first, exactly as OCaml
+   scoping would inside a wrapped library. Unresolved roots (stdlib,
+   external deps like [Bechamel]) produce no edge. *)
+
+type edge = {
+  src_path : string;
+  src_dir : string;
+  dst_dir : string;
+  via : string;  (* the referenced module path as written *)
+  line : int;
+}
+
+type t = {
+  dirs : string list;
+  root_dir : (string, string) Hashtbl.t;
+  dir_mods : (string, string) Hashtbl.t;  (* "dir/Modname" -> path *)
+  edges : edge list;
+}
+
+let default_overrides = [ ("Weakkeys", "lib/core") ]
+
+let dir_of_path path =
+  match String.split_on_char '/' path with
+  | "lib" :: sub :: _ :: _ -> "lib/" ^ sub
+  | top :: _ :: _ -> top
+  | _ -> Filename.dirname path
+
+let lib_root dir =
+  match String.split_on_char '/' dir with
+  | [ "lib"; name ] when name <> "" ->
+    Some
+      (String.make 1 (Char.uppercase_ascii name.[0])
+      ^ String.sub name 1 (String.length name - 1))
+  | _ -> None
+
+let dir_mod_key dir modname = dir ^ "/" ^ modname
+
+(* One-step alias expansion: the root of [path], rewritten through the
+   file's [module A = B] aliases when it names one. *)
+let expand_root (sum : Symbols.t) path =
+  let root = Symbols.root_of path in
+  match
+    List.find_opt (fun (a, _, _) -> a = root) sum.Symbols.aliases
+  with
+  | Some (_, target, _) -> Symbols.root_of target
+  | None -> root
+
+let resolve t (sum : Symbols.t) path =
+  let root = expand_root sum path in
+  let own_dir = dir_of_path sum.Symbols.path in
+  if Hashtbl.mem t.dir_mods (dir_mod_key own_dir root) then Some own_dir
+  else Hashtbl.find_opt t.root_dir root
+
+let build ?(overrides = default_overrides) summaries =
+  let root_dir = Hashtbl.create 32 in
+  let dir_mods = Hashtbl.create 256 in
+  let dirs = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Symbols.t) ->
+      let dir = dir_of_path s.Symbols.path in
+      if not (Hashtbl.mem dirs dir) then Hashtbl.replace dirs dir ();
+      Hashtbl.replace dir_mods (dir_mod_key dir s.Symbols.modname)
+        s.Symbols.path)
+    summaries;
+  Hashtbl.iter
+    (fun dir () ->
+      match
+        List.find_opt (fun (_, d) -> d = dir) overrides
+      with
+      | Some (root, _) -> Hashtbl.replace root_dir root dir
+      | None -> (
+        match lib_root dir with
+        | Some root -> Hashtbl.replace root_dir root dir
+        | None -> ()))
+    dirs;
+  let t =
+    { dirs = List.sort String.compare
+               (Hashtbl.fold (fun d () acc -> d :: acc) dirs []);
+      root_dir; dir_mods; edges = [] }
+  in
+  (* Cross-unit edges, deduplicated per (file, target dir) keeping the
+     first reference in source order. *)
+  let seen = Hashtbl.create 256 in
+  let edges = ref [] in
+  List.iter
+    (fun (s : Symbols.t) ->
+      let src_dir = dir_of_path s.Symbols.path in
+      let note path line =
+        match resolve t s path with
+        | Some dst when dst <> src_dir ->
+          let key = s.Symbols.path ^ "->" ^ dst in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            edges :=
+              { src_path = s.Symbols.path; src_dir; dst_dir = dst;
+                via = path; line }
+              :: !edges
+          end
+        | _ -> ()
+      in
+      List.iter (fun (m, line) -> note m line) s.Symbols.opens;
+      List.iter (fun (_, target, line) -> note target line) s.Symbols.aliases;
+      List.iter (fun (r, line) -> note r line) s.Symbols.refs)
+    summaries;
+  { t with edges = List.rev !edges }
+
+let edges t = t.edges
+
+let dirs t = t.dirs
+
+let file_of t ~dir ~modname = Hashtbl.find_opt t.dir_mods (dir_mod_key dir modname)
+
+let dir_of_root t root = Hashtbl.find_opt t.root_dir root

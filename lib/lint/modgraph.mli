@@ -1,0 +1,50 @@
+(** Cross-file module-dependency graph over {!Symbols} summaries.
+
+    Nodes are compilation units grouped into unit directories
+    ([lib/bignum], [bin], [test], ...); edges are qualified
+    references, [open]s, or aliases whose root resolves to another
+    unit directory. Resolution follows dune's library wrapping:
+    [lib/foo] answers to the module root [Foo] (with an override table
+    for [lib/core] = [Weakkeys]); sibling modules in the same
+    directory shadow library roots, as OCaml scoping does inside a
+    wrapped library; stdlib and external roots resolve to nothing and
+    produce no edge. *)
+
+type edge = {
+  src_path : string;  (** Referencing file. *)
+  src_dir : string;  (** Its unit directory. *)
+  dst_dir : string;  (** Referenced unit directory. *)
+  via : string;  (** The module path as written at the reference. *)
+  line : int;
+}
+
+type t
+
+val default_overrides : (string * string) list
+(** Module root → unit directory pairs where the dune library name
+    differs from the directory name: [("Weakkeys", "lib/core")]. *)
+
+val dir_of_path : string -> string
+(** ["lib/bignum/nat.ml"] → ["lib/bignum"]; ["bin/x.ml"] → ["bin"]. *)
+
+val build : ?overrides:(string * string) list -> Symbols.t list -> t
+(** Build the graph. Cross-unit edges are deduplicated per (file,
+    target directory), keeping the first reference in source order. *)
+
+val edges : t -> edge list
+
+val dirs : t -> string list
+(** Every unit directory present, sorted. *)
+
+val resolve : t -> Symbols.t -> string -> string option
+(** [resolve t summary path] is the unit directory the module path
+    refers to from within [summary]'s file — sibling first, then
+    library root, [None] for stdlib/external — after one step of
+    alias expansion through the file's [module A = B] aliases. *)
+
+val file_of : t -> dir:string -> modname:string -> string option
+(** The file defining [modname] inside [dir], if any. *)
+
+val dir_of_root : t -> string -> string option
+(** The unit directory a library root answers to ([Bignum] →
+    [lib/bignum]), [None] for stdlib/external roots. *)

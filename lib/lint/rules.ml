@@ -174,39 +174,46 @@ let lib_stdout ctx =
 (* Rule 6: failwith only inside *_exn functions                        *)
 (* ------------------------------------------------------------------ *)
 
-(* The enclosing function is approximated by the most recent top-level
-   (column-0) [let]/[and] binding — good enough for this codebase's
-   formatting, and cheap. *)
+(* The enclosing chain comes from the binding-structure parser, so
+   nested [let ... in] helpers resolve precisely: a [failwith] is
+   sanctioned when any binding in its enclosing chain carries the
+   [_exn] suffix (a private helper inside [parse_exn] may raise on its
+   behalf), and a raising helper inside a non-[_exn] function is
+   flagged even when the column-0 binding looks innocent. *)
 let failwith_outside_exn ctx =
-  let findings = ref [] in
-  let current = ref "" in
-  let rec run = function
-    | [] -> ()
-    | ({ Lexer.kind = Lexer.Ident ("let" | "and"); col = 0; _ } : Lexer.token)
-      :: rest -> (
-      match rest with
-      | { Lexer.kind = Lexer.Ident "rec"; _ }
-        :: { Lexer.kind = Lexer.Ident name; _ } :: r
-      | { Lexer.kind = Lexer.Ident name; _ } :: r ->
-        current := name;
-        run r
-      | r ->
-        current := "";
-        run r)
-    | { Lexer.kind = Lexer.Ident id; line; _ } :: rest
-      when strip_stdlib id = "failwith" ->
-      if not (ends_with "_exn" !current) then
-        findings :=
-          { line;
-            message =
-              Printf.sprintf "`failwith` outside an `_exn` function%s"
-                (if !current = "" then "" else " (in `" ^ !current ^ "`)") }
-          :: !findings;
-      run rest
-    | _ :: rest -> run rest
-  in
-  run (code ctx);
-  List.rev !findings
+  let toks = Structure.code_array ctx.tokens in
+  let bindings = Structure.parse toks in
+  let out = ref [] in
+  Array.iteri
+    (fun i (t : Lexer.token) ->
+      match t.Lexer.kind with
+      | Lexer.Ident id when strip_stdlib id = "failwith" ->
+        let chain = Structure.enclosing bindings i in
+        let sanctioned =
+          List.exists
+            (fun (b : Structure.binding) ->
+              ends_with "_exn" b.Structure.name)
+            chain
+        in
+        if not sanctioned then begin
+          let name =
+            List.find_map
+              (fun (b : Structure.binding) ->
+                if b.Structure.name = "" then None else Some b.Structure.name)
+              chain
+          in
+          out :=
+            { line = t.Lexer.line;
+              message =
+                Printf.sprintf "`failwith` outside an `_exn` function%s"
+                  (match name with
+                  | None -> ""
+                  | Some n -> " (in `" ^ n ^ "`)") }
+            :: !out
+        end
+      | _ -> ())
+    toks;
+  List.rev !out
 
 (* ------------------------------------------------------------------ *)
 (* Rule 7: no top-level mutable state in libraries                     *)
@@ -248,7 +255,9 @@ let missing_mli ctx =
 (* ------------------------------------------------------------------ *)
 
 let hot_module path =
-  in_dir "lib/batchgcd" path || path = "lib/netsim/world.ml"
+  in_dir "lib/batchgcd" path || in_dir "lib/fingerprint" path
+  || in_dir "lib/corpus" path
+  || path = "lib/netsim/world.ml"
 
 let nontail_append ctx =
   if not (hot_module ctx.path) then []
@@ -526,4 +535,57 @@ let all =
       check = fingerprint_outside_registry };
   ]
 
-let find id = List.find_opt (fun r -> r.id = id) all
+(* ------------------------------------------------------------------ *)
+(* Deep (whole-program) analyses                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* These rules have no per-file [check]: the engine computes their
+   findings from the cross-file module graph and effect inference and
+   attributes them back to these ids for severity, doc, and
+   suppression handling. *)
+let deep_check (_ : ctx) : finding list = []
+
+let deep =
+  [
+    { id = "layer-violation";
+      severity = Error;
+      doc =
+        "unit directories form an ordered layer cake (bignum at the \
+         bottom, bin/test/bench on top); dependencies may point \
+         sideways or down, never up, and skip-listed edges are banned \
+         outright";
+      hint =
+        "move the shared code down a layer, or add a justified entry to \
+         the Layers spec allow-list";
+      check = deep_check };
+    { id = "pool-capture-race";
+      severity = Warning;
+      doc =
+        "a closure handed to Parallel.Pool.map / parallel_for that \
+         mutates captured state, performs IO, or (transitively) calls \
+         something that does races across domains";
+      hint =
+        "return values and merge sequentially after the join, write \
+         into disjoint a.(i) slots, or use Atomic";
+      check = deep_check };
+    { id = "pass-ctx-mutation";
+      severity = Error;
+      doc =
+        "attribution pass bodies receive the shared Pass.Ctx read-only; \
+         mutating it from inside a pass breaks registry replay and \
+         pass independence";
+      hint =
+        "build pass-local state and return it in the pass result \
+         instead of writing through ctx";
+      check = deep_check };
+    { id = "unused-suppression";
+      severity = Warning;
+      doc =
+        "a `(* lint: allow <rule> *)` directive whose rule no longer \
+         fires on the lines it covers is dead weight and hides future \
+         regressions";
+      hint = "delete the stale directive";
+      check = deep_check };
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) (all @ deep)

@@ -27,6 +27,15 @@ type t = {
 }
 
 val all : t list
-(** Every rule, in catalogue order (rule ids are stable). *)
+(** Every per-file lexical rule, in catalogue order (rule ids are
+    stable). *)
+
+val deep : t list
+(** The whole-program analyses ([layer-violation],
+    [pool-capture-race], [pass-ctx-mutation], [unused-suppression]).
+    Their [check] functions return nothing — the engine computes their
+    findings from the module graph and effect inference and attributes
+    them to these ids for severity, doc and suppression handling. *)
 
 val find : string -> t option
+(** Lookup across [all] and [deep]. *)

@@ -1,0 +1,237 @@
+(* Lightweight binding-structure parser over the lint lexer's token
+   stream. It recovers just enough shape for the semantic analyses:
+   which [let]/[and] bindings exist (at any nesting depth, not only
+   column 0), their syntactic parameters, and the token range of each
+   bound expression — so "which function encloses this token" has a
+   precise answer, and the effects analysis can tell closure-local
+   names from captured ones.
+
+   The parser is a single pass with a frame stack. Nesting depth
+   counts every bracketing construct ([()], [[]], [{}], [begin]/[end],
+   [struct]/[sig]/[object]/[end], [do]/[done]); a [let] opens a frame
+   once its [=] is found at the let's own depth, an [in] at that depth
+   closes the innermost frame, a column-0 structural keyword closes
+   everything. Misparses degrade to over-wide ranges, never crashes. *)
+
+type binding = {
+  name : string;  (* "" for unit/pattern/operator bindings *)
+  params : string list;
+  line : int;
+  toplevel : bool;
+  start : int;
+  body_start : int;
+  stop : int;
+}
+
+let code_array tokens = Array.of_list (List.filter Lexer.is_code tokens)
+
+let is_lower_ident s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && not (String.contains s '.')
+
+let keywords =
+  [ "let"; "and"; "rec"; "in"; "fun"; "function"; "match"; "with"; "type";
+    "module"; "open"; "exception"; "if"; "then"; "else"; "begin"; "end";
+    "struct"; "sig"; "object"; "do"; "done"; "to"; "downto"; "while"; "for";
+    "try"; "when"; "as"; "of"; "mutable"; "lazy"; "assert"; "true"; "false";
+    "not"; "or"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr"; "ref";
+    "new"; "val"; "method"; "inherit"; "initializer"; "constraint";
+    "external"; "include"; "functor" ]
+
+let is_keyword s = List.mem s keywords
+
+let opens_depth = function
+  | Lexer.Sym ("(" | "[" | "{") -> true
+  | Lexer.Ident ("begin" | "struct" | "sig" | "object" | "do") -> true
+  | _ -> false
+
+let closes_depth = function
+  | Lexer.Sym (")" | "]" | "}") -> true
+  | Lexer.Ident ("end" | "done") -> true
+  | _ -> false
+
+(* Column-0 keywords that terminate every open top-level binding. *)
+let toplevel_break = function
+  | Lexer.Ident
+      ("let" | "and" | "type" | "module" | "open" | "exception" | "include"
+      | "external" | "class")
+  | Lexer.Sym ";;" ->
+    true
+  | _ -> false
+
+type frame = {
+  f_name : string;
+  f_params : string list;
+  f_line : int;
+  f_top : bool;
+  f_start : int;
+  f_depth : int;
+  f_body : int;
+}
+
+let parse toks =
+  let n = Array.length toks in
+  let out = ref [] in
+  let stack = ref [] in
+  let close idx f =
+    out :=
+      { name = f.f_name; params = f.f_params; line = f.f_line;
+        toplevel = f.f_top; start = f.f_start; body_start = f.f_body;
+        stop = idx }
+      :: !out
+  in
+  let close_all idx = List.iter (close idx) !stack; stack := [] in
+  let close_deeper idx depth =
+    let rec go = function
+      | f :: rest when f.f_depth > depth -> close idx f; go rest
+      | rest -> stack := rest
+    in
+    go !stack
+  in
+  let depth = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let t = toks.(!i) in
+    (match t.Lexer.kind with
+    | Lexer.Ident (("let" | "and") as kw) ->
+      let at_top = t.Lexer.col = 0 in
+      if at_top then close_all !i
+      else if kw = "and" then begin
+        (* [and] continues a binding group at the same depth: the
+           sibling frame ends here. *)
+        match !stack with
+        | f :: rest when f.f_depth = !depth ->
+          close !i f;
+          stack := rest
+        | _ -> ()
+      end;
+      (* Head scan: name, syntactic params, and the [=] that starts
+         the bound expression — all at the let's own depth. *)
+      let d0 = !depth in
+      let j = ref (!i + 1) in
+      (if !j < n then
+         match toks.(!j).Lexer.kind with
+         | Lexer.Ident "rec" -> incr j
+         | _ -> ());
+      let name =
+        if !j < n then
+          match toks.(!j).Lexer.kind with
+          | Lexer.Ident id when not (is_keyword id) -> id
+          | Lexer.Ident "module" ->
+            (* [let module M = ... in]: record under the module name so
+               the range still nests correctly. *)
+            if !j + 1 < n then
+              match toks.(!j + 1).Lexer.kind with
+              | Lexer.Ident m -> incr j; m
+              | _ -> ""
+            else ""
+          | _ -> ""
+        else ""
+      in
+      if name <> "" then incr j;
+      let params = ref [] in
+      let d = ref d0 in
+      let eq = ref (-1) in
+      let bailed = ref false in
+      while !eq < 0 && (not !bailed) && !j < n do
+        let tk = toks.(!j) in
+        (if opens_depth tk.Lexer.kind then incr d
+         else if closes_depth tk.Lexer.kind then decr d);
+        (match tk.Lexer.kind with
+        | Lexer.Sym "=" when !d = d0 -> eq := !j
+        | Lexer.Ident "in" when !d = d0 ->
+          (* [let open M in ...]: no value is bound; skip the head. *)
+          bailed := true
+        | Lexer.Ident id when is_lower_ident id && not (is_keyword id) ->
+          if not (List.mem id !params) then params := id :: !params
+        | _ -> ());
+        if !d < d0 then bailed := true else incr j
+      done;
+      if !eq >= 0 then begin
+        stack :=
+          { f_name = name; f_params = List.rev !params; f_line = t.Lexer.line;
+            f_top = (at_top && kw = "let") || (!stack = [] && t.Lexer.col <= 2);
+            f_start = !i; f_depth = d0; f_body = !eq + 1 }
+          :: !stack;
+        i := !eq + 1
+      end
+      else i := Stdlib.max (!i + 1) !j
+    | Lexer.Ident "in" -> (
+      (match !stack with
+      | f :: rest when f.f_depth = !depth ->
+        close !i f;
+        stack := rest
+      | _ -> ());
+      incr i)
+    | k when toplevel_break k && t.Lexer.col = 0 ->
+      close_all !i;
+      incr i
+    | k ->
+      if opens_depth k then incr depth
+      else if closes_depth k then begin
+        depth := Stdlib.max 0 (!depth - 1);
+        close_deeper !i !depth
+      end;
+      incr i)
+  done;
+  close_all n;
+  List.sort (fun a b -> Int.compare a.start b.start) !out
+
+let enclosing bindings idx =
+  bindings
+  |> List.filter (fun b -> b.body_start <= idx && idx < b.stop)
+  |> List.sort (fun a b -> Int.compare b.body_start a.body_start)
+
+(* ------------------------------------------------------------------ *)
+(* Local binders                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Names plausibly bound within [lo, hi): function parameters, let
+   bindings, match-arm patterns, [as]/[for] binders. Deliberately an
+   over-approximation — treating one extra name as local makes the
+   effects analysis miss a capture, never invent one. *)
+let binders toks lo hi =
+  let n = Array.length toks in
+  let hi = Stdlib.min hi n in
+  let acc = ref [] in
+  let add id =
+    if is_lower_ident id && (not (is_keyword id)) && not (List.mem id !acc)
+    then acc := id :: !acc
+  in
+  let collect_until j stop_sym cap =
+    let j = ref j and steps = ref 0 in
+    while
+      !j < hi && !steps < cap
+      && (match toks.(!j).Lexer.kind with
+         | Lexer.Sym s when s = stop_sym -> false
+         | _ -> true)
+    do
+      (match toks.(!j).Lexer.kind with
+      | Lexer.Ident id -> add id
+      | _ -> ());
+      incr j;
+      incr steps
+    done
+  in
+  let i = ref lo in
+  while !i < hi do
+    (match toks.(!i).Lexer.kind with
+    | Lexer.Ident ("fun" | "function") -> collect_until (!i + 1) "->" 50
+    | Lexer.Ident ("let" | "and") ->
+      let j = ref (!i + 1) in
+      (if !j < hi then
+         match toks.(!j).Lexer.kind with
+         | Lexer.Ident "rec" -> incr j
+         | _ -> ());
+      collect_until !j "=" 60
+    | Lexer.Ident "with" | Lexer.Sym "|" -> collect_until (!i + 1) "->" 50
+    | Lexer.Ident ("as" | "for") ->
+      if !i + 1 < hi then (
+        match toks.(!i + 1).Lexer.kind with
+        | Lexer.Ident id -> add id
+        | _ -> ())
+    | _ -> ());
+    incr i
+  done;
+  !acc

@@ -1,0 +1,56 @@
+(** Binding-structure parser for the deep analyses.
+
+    Recovers the [let]/[and] binding tree — at every nesting depth,
+    not just column 0 — from the lint lexer's token stream: binding
+    names, syntactic parameters, and the token range of each bound
+    expression. This is what lets [failwith-outside-exn] see nested
+    [let ... in] helpers and the effects analysis distinguish a
+    closure's own locals from captured state.
+
+    The parser is heuristic (no compiler-libs): misparses degrade to
+    over-wide body ranges or missing bindings, never exceptions. *)
+
+type binding = {
+  name : string;  (** [""] for unit, pattern and operator bindings. *)
+  params : string list;
+      (** Lowercase identifiers between the name and the [=] — an
+          over-approximation of the parameter list (type annotations
+          and tuple components are included, which is harmless for the
+          consumers here). [[]] for plain value bindings. *)
+  line : int;
+  toplevel : bool;  (** Column-0 structure item. *)
+  start : int;  (** Token index of the [let]/[and] keyword. *)
+  body_start : int;  (** Token index just after the binding's [=]. *)
+  stop : int;  (** Exclusive token index ending the bound expression. *)
+}
+
+val code_array : Lexer.token list -> Lexer.token array
+(** Code tokens only (comments dropped), as the array every consumer
+    of token indices shares. *)
+
+val parse : Lexer.token array -> binding list
+(** All bindings in the unit, sorted by [start]. Ranges are properly
+    nested: an inner binding's [body_start, stop) lies inside its
+    enclosing binding's range. *)
+
+val enclosing : binding list -> int -> binding list
+(** Bindings whose bound expression contains the given token index,
+    innermost first. *)
+
+val keywords : string list
+(** OCaml keywords and keyword-like identifiers, as the lexer emits
+    them ([Ident] tokens); shared by every analysis that must not
+    mistake a keyword for a name. *)
+
+val opens_depth : Lexer.kind -> bool
+(** Tokens that push a nesting frame: [( [ { begin struct sig object
+    do]. *)
+
+val closes_depth : Lexer.kind -> bool
+(** Tokens that pop one: [) \] } end done]. *)
+
+val binders : Lexer.token array -> int -> int -> string list
+(** Names plausibly bound locally within the token range [lo, hi):
+    parameters, [let] binders, match-arm pattern names. Deliberately
+    an over-approximation (extra names make the effects analysis miss
+    a capture, never invent one). *)

@@ -23,12 +23,14 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "thirteen rules" 13 (List.length R.all);
+  Alcotest.(check int) "thirteen lexical rules" 13 (List.length R.all);
+  Alcotest.(check int) "four deep analyses" 4 (List.length R.deep);
+  let ids = List.map (fun (r : R.t) -> r.R.id) (R.all @ R.deep) in
   Alcotest.(check int) "ids unique"
-    (List.length R.all)
-    (List.length (List.sort_uniq String.compare
-                    (List.map (fun (r : R.t) -> r.R.id) R.all)));
+    (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
   Alcotest.(check bool) "find known" true (R.find "det-random" <> None);
+  Alcotest.(check bool) "find deep" true (R.find "pool-capture-race" <> None);
   Alcotest.(check bool) "find unknown" true (R.find "no-such-rule" = None)
 
 (* ------------------------------------------------------------------ *)
@@ -98,7 +100,23 @@ let test_failwith_outside_exn () =
   check_clean "_exn function" "failwith-outside-exn"
     {|let parse_exn x = failwith "bad"|};
   check_clean "helper inside _exn" "failwith-outside-exn"
-    "let parse_exn x =\n  let go y = failwith \"bad\" in\n  go x"
+    "let parse_exn x =\n  let go y = failwith \"bad\" in\n  go x";
+  (* the structure parser tracks nested [let ... in] chains, so a
+     raising helper inside a non-_exn function is caught even though
+     the column-0 binding looks innocent *)
+  check_flagged "nested helper in plain function" "failwith-outside-exn"
+    "let outer x =\n  let helper y = failwith \"bad\" in\n  helper x";
+  check_clean "nested _exn helper sanctions its body" "failwith-outside-exn"
+    "let outer x =\n\
+    \  let go_exn y = failwith \"bad\" in\n\
+    \  try go_exn x with Failure _ -> 0";
+  check_flagged "deeply nested" "failwith-outside-exn"
+    "let outer x =\n\
+    \  let mid y =\n\
+    \    let inner z = failwith \"bad\" in\n\
+    \    inner y\n\
+    \  in\n\
+    \  mid x"
 
 let test_toplevel_ref () =
   check_flagged "top-level ref" "toplevel-ref" "let counter = ref 0";
@@ -122,6 +140,10 @@ let test_nontail_append () =
   check_flagged "List.append" "nontail-append" ~path "let f a b = List.append a b";
   check_flagged "world.ml is hot" "nontail-append" ~path:"lib/netsim/world.ml"
     "let f a b = a @ b";
+  check_flagged "fingerprint is hot" "nontail-append"
+    ~path:"lib/fingerprint/attribution.ml" "let f a b = a @ b";
+  check_flagged "corpus is hot" "nontail-append" ~path:"lib/corpus/store.ml"
+    "let f a b = List.append a b";
   check_clean "@@ is not @" "nontail-append" ~path "let f x = g @@ x";
   check_clean "attribute bracket" "nontail-append" ~path
     {|let f x = (x [@warning "-8"])|};
@@ -206,6 +228,268 @@ let test_suppressions () =
     "let c = ref 0 (* lint: allow toplevel-ref for a tuning knob *)"
 
 (* ------------------------------------------------------------------ *)
+(* Deep analyses (whole-program, via lint_units)                       *)
+(* ------------------------------------------------------------------ *)
+
+let deep_findings units =
+  E.lint_units ~deep:true
+    (List.map
+       (fun (p, s) -> { E.src_path = p; mli_exists = None; src = s })
+       units)
+
+let deep_flags rule path units =
+  List.exists
+    (fun (f : E.finding) -> f.E.rule = rule && f.E.path = path)
+    (deep_findings units)
+
+let check_deep_flagged name rule path units =
+  Alcotest.(check bool) name true (deep_flags rule path units)
+
+let check_deep_clean name rule path units =
+  Alcotest.(check bool) name false (deep_flags rule path units)
+
+let test_layering () =
+  let corpus = ("lib/corpus/store.ml", "let create () = 1") in
+  (* bignum sits below corpus: referencing it is an upward edge *)
+  check_deep_flagged "synthetic upward edge" "layer-violation"
+    "lib/bignum/nat_extra.ml"
+    [ corpus; ("lib/bignum/nat_extra.ml", "let x = Corpus.Store.create ()") ];
+  check_deep_clean "downward edge is legal" "layer-violation"
+    "lib/corpus/uses.ml"
+    [ ("lib/bignum/nat_extra.ml", "let x = 1");
+      ("lib/corpus/uses.ml", "let y = Bignum.Nat_extra.x") ];
+  (* netsim -> fingerprint points downward but is skip-listed *)
+  check_deep_flagged "skip-listed edge" "layer-violation"
+    "lib/netsim/world_extra.ml"
+    [ ("lib/fingerprint/rimon.ml", "let detect xs = xs");
+      ("lib/netsim/world_extra.ml",
+       "let d = Fingerprint.Rimon.detect []") ];
+  (* the committed allow-list covers the real bignum -> parallel trade *)
+  check_deep_clean "allow-listed edge" "layer-violation" "lib/bignum/nat_extra.ml"
+    [ ("lib/parallel/pool.ml", "let go f = f ()");
+      ("lib/bignum/nat_extra.ml", "let x = Parallel.Pool.go (fun () -> 1)") ]
+
+let test_pool_capture_race () =
+  let rule = "pool-capture-race" in
+  let path = "lib/analysis/histo_extra.ml" in
+  check_deep_flagged "closure mutating captured ref" rule path
+    [ ( path,
+        "let total = ref 0 (* lint: allow toplevel-ref *)\n\
+         let run pool xs =\n\
+        \  Parallel.Pool.map ~pool (fun x -> total := !total + x; x) xs" ) ];
+  check_deep_clean "accumulator-free equivalent" rule path
+    [ (path, "let run pool xs = Parallel.Pool.map ~pool (fun x -> x * 2) xs") ];
+  check_deep_clean "disjoint element writes are sanctioned" rule path
+    [ ( path,
+        "let run pool out n =\n\
+        \  Parallel.Pool.parallel_for pool 0 n (fun i -> out.(i) <- i)" ) ];
+  check_deep_flagged "named function with IO" rule path
+    [ ( path,
+        "let log_it x = Printf.printf \"%d\" x (* lint: allow lib-stdout *)\n\
+         let run pool xs = Parallel.Pool.map ~pool log_it xs" ) ];
+  check_deep_flagged "transitive mutation through a callee" rule path
+    [ ( path,
+        "let tbl = Hashtbl.create 3\n\
+         let memo x = Hashtbl.replace tbl x x\n\
+         let step x = memo x; x\n\
+         let run pool xs = Parallel.Pool.map ~pool step xs" ) ];
+  check_deep_clean "pure named function" rule path
+    [ ( path,
+        "let double x = x * 2\n\
+         let run pool xs = Parallel.Pool.map ~pool double xs" ) ]
+
+let test_pass_ctx_mutation () =
+  let rule = "pass-ctx-mutation" in
+  let path = "lib/fingerprint/pass_extra.ml" in
+  check_deep_flagged "field store through ctx" rule path
+    [ (path, "let run ctx attr =\n  ctx.cache <- 1;\n  attr") ];
+  check_deep_flagged "Hashtbl.replace on a ctx field" rule path
+    [ (path, "let run ctx attr = Hashtbl.replace ctx.tbl 1 2; attr") ];
+  check_deep_clean "pass-local table is fine" rule path
+    [ ( path,
+        "let run ctx attr =\n\
+        \  let t = Hashtbl.create 3 in\n\
+        \  Hashtbl.replace t 1 2;\n\
+        \  attr" ) ];
+  check_deep_clean "reads are fine" rule path
+    [ (path, "let run ctx attr = Hashtbl.find_opt ctx.tbl 1") ];
+  check_deep_clean "other directories are out of scope" rule
+    "lib/analysis/pass_extra.ml"
+    [ ("lib/analysis/pass_extra.ml", "let run ctx attr = ctx.cache <- 1; attr") ]
+
+let test_unused_suppression () =
+  let rule = "unused-suppression" in
+  let path = "lib/analysis/sup_extra.ml" in
+  check_deep_flagged "planted stale directive" rule path
+    [ (path, "(* lint: allow det-random *)\nlet x = 1") ];
+  check_deep_clean "directive that fires" rule path
+    [ (path, "(* lint: allow det-random *)\nlet x = Random.int 5") ];
+  check_deep_clean "justification prose is not an id" rule path
+    [ ( path,
+        "let c = ref 0 (* lint: allow toplevel-ref for a tuning knob *)" ) ];
+  (* shallow runs never audit: the directive set is only meaningful
+     against the full finding set *)
+  Alcotest.(check bool) "no audit in shallow mode" false
+    (List.exists
+       (fun (f : E.finding) -> f.E.rule = rule)
+       (E.lint_source ~path "(* lint: allow det-random *)\nlet x = 1"))
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip and baseline                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let fs =
+    E.lint_source ~path:"lib/x/y.ml"
+      "let f a b = a == b\nlet g = Random.int 5\nlet s = \"quote \\\" here\""
+  in
+  Alcotest.(check bool) "fixture has findings" true (fs <> []);
+  (match E.findings_of_json (E.to_json fs) with
+  | Ok fs' ->
+    Alcotest.(check int) "same count" (List.length fs) (List.length fs');
+    List.iter2
+      (fun (a : E.finding) (b : E.finding) ->
+        Alcotest.(check string) "rule" a.E.rule b.E.rule;
+        Alcotest.(check string) "path" a.E.path b.E.path;
+        Alcotest.(check int) "line" a.E.line b.E.line;
+        Alcotest.(check string) "message" a.E.message b.E.message;
+        Alcotest.(check string) "hint" a.E.hint b.E.hint;
+        Alcotest.(check bool) "severity" true (a.E.severity = b.E.severity))
+      fs fs'
+  | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (match E.findings_of_json "nonsense" with
+  | Ok _ -> Alcotest.fail "parsed nonsense"
+  | Error _ -> ());
+  match E.findings_of_json "[\n]" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty array should have no findings"
+  | Error e -> Alcotest.failf "empty array: %s" e
+
+module B = Lint.Baseline
+
+let test_baseline_compare () =
+  let f1 = ("r1", "a.ml", "m1") and f2 = ("r2", "b.ml", "m2") in
+  let base = B.of_findings [ f1; f1; f2 ] in
+  Alcotest.(check int) "two entries" 2 (List.length base);
+  Alcotest.(check int) "duplicate counted"
+    2 (List.hd base).B.count;
+  let all_matched = B.compare_run base [ f1; f2 ] in
+  Alcotest.(check int) "no fresh" 0 (List.length all_matched.B.fresh);
+  Alcotest.(check int) "no stale" 0 (List.length all_matched.B.stale);
+  let one_gone = B.compare_run base [ f1 ] in
+  Alcotest.(check int) "f2 is stale" 1 (List.length one_gone.B.stale);
+  Alcotest.(check string) "stale entry is f2" "r2"
+    (List.hd one_gone.B.stale).B.rule;
+  let one_new = B.compare_run base [ f1; f2; ("r3", "c.ml", "m3") ] in
+  (match one_new.B.fresh with
+  | [ ("r3", "c.ml", "m3") ] -> ()
+  | _ -> Alcotest.fail "expected exactly the r3 finding to be fresh");
+  (* round-trip through disk *)
+  let file = Filename.temp_file "weakkeys_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      B.save file base;
+      match B.load file with
+      | Ok base' ->
+        Alcotest.(check int) "reload count" (List.length base)
+          (List.length base');
+        List.iter2
+          (fun (a : B.entry) (b : B.entry) ->
+            Alcotest.(check string) "rule" a.B.rule b.B.rule;
+            Alcotest.(check string) "path" a.B.path b.B.path;
+            Alcotest.(check string) "message" a.B.message b.B.message;
+            Alcotest.(check int) "count" a.B.count b.B.count)
+          base base'
+      | Error e -> Alcotest.failf "reload failed: %s" e);
+  (match B.load "/no/such/baseline.json" with
+  | Ok _ -> Alcotest.fail "loaded a missing file"
+  | Error _ -> ());
+  match Result.bind (Lint.Json.parse "{\"not\": \"a list\"}") B.of_json with
+  | Ok _ -> Alcotest.fail "accepted a non-array baseline"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes, through the installed binary                            *)
+(* ------------------------------------------------------------------ *)
+
+let lint_exe = Filename.concat (Filename.concat ".." "bin") "weakkeys_lint.exe"
+
+let run_lint args =
+  Sys.command
+    (Filename.quote lint_exe ^ " " ^ args ^ " > /dev/null 2> /dev/null")
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "weakkeys_lint_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f dir)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let ( // ) = Filename.concat
+
+let test_exit_codes () =
+  if not (Sys.file_exists lint_exe) then
+    Alcotest.fail "linter binary not built (dune dep missing)"
+  else
+    with_tmpdir (fun dir ->
+        write_file (dir // "clean.ml") "let x = 1\n";
+        Alcotest.(check int) "clean tree exits 0" 0
+          (run_lint (Filename.quote (dir // "clean.ml")));
+        write_file (dir // "bad.ml") "let f a b = a == b\n";
+        Alcotest.(check int) "findings exit 1" 1
+          (run_lint (Filename.quote dir));
+        Alcotest.(check int) "findings exit 1 with --json" 1
+          (run_lint ("--json " ^ Filename.quote dir));
+        Alcotest.(check int) "unknown flag exits 2" 2
+          (run_lint "--no-such-flag");
+        Alcotest.(check int) "missing path exits 2" 2
+          (run_lint (Filename.quote (dir // "nope"))))
+
+let test_baseline_workflow () =
+  if not (Sys.file_exists lint_exe) then
+    Alcotest.fail "linter binary not built (dune dep missing)"
+  else
+    with_tmpdir (fun dir ->
+        let bad = dir // "bad.ml" in
+        let base = dir // "base.json" in
+        write_file bad "let f a b = a == b\n";
+        Alcotest.(check int) "--write-baseline exits 0" 0
+          (run_lint
+             (Printf.sprintf "--deep --write-baseline %s %s"
+                (Filename.quote base) (Filename.quote dir)));
+        Alcotest.(check int) "baselined run exits 0" 0
+          (run_lint
+             (Printf.sprintf "--deep --baseline %s %s" (Filename.quote base)
+                (Filename.quote dir)));
+        (* a fresh finding not in the baseline fails the run *)
+        write_file (dir // "worse.ml") "let g a b = a != b\n";
+        Alcotest.(check int) "fresh finding exits 1" 1
+          (run_lint
+             (Printf.sprintf "--deep --baseline %s %s" (Filename.quote base)
+                (Filename.quote dir)));
+        Sys.remove (dir // "worse.ml");
+        (* fixing the baselined finding makes its entry stale, which
+           also fails: the ratchet only moves by editing the file *)
+        write_file bad "let f a b = a = b\n";
+        Alcotest.(check int) "stale entry exits 1" 1
+          (run_lint
+             (Printf.sprintf "--deep --baseline %s %s" (Filename.quote base)
+                (Filename.quote dir)));
+        Alcotest.(check int) "malformed baseline exits 2" 2
+          (write_file base "{ not an array ";
+           run_lint
+             (Printf.sprintf "--deep --baseline %s %s" (Filename.quote base)
+                (Filename.quote dir))))
+
+(* ------------------------------------------------------------------ *)
 (* Positions and output formats                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -249,4 +533,12 @@ let tests =
       test_fingerprint_outside_registry;
     Alcotest.test_case "suppressions" `Quick test_suppressions;
     Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
+    Alcotest.test_case "layering" `Quick test_layering;
+    Alcotest.test_case "pool-capture-race" `Quick test_pool_capture_race;
+    Alcotest.test_case "pass-ctx-mutation" `Quick test_pass_ctx_mutation;
+    Alcotest.test_case "unused-suppression" `Quick test_unused_suppression;
+    Alcotest.test_case "json-roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "baseline-compare" `Quick test_baseline_compare;
+    Alcotest.test_case "exit-codes" `Quick test_exit_codes;
+    Alcotest.test_case "baseline-workflow" `Quick test_baseline_workflow;
   ]
