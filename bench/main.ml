@@ -396,6 +396,168 @@ let attribution_group =
               Fingerprint.Registry.builtin);
       ])
 
+(* The sharded arena driver at the tracked 2048 scale: the two-tier
+   sweep (per-shard trees + upper tree + per-shard descents) against
+   the flat single-tree run it must reproduce bit-for-bit. *)
+let sharded_group =
+  Test.make_grouped ~name:"sharded"
+    [
+      t "sharded-create-2048-stride256" (fun () ->
+          Batchgcd.Sharded.create ~pool:(Lazy.force pool_seq) ~stride:256
+            (Lazy.force moduli_2048));
+    ]
+
+(* ---------------- million-modulus arena ingest ---------------- *)
+
+(* One-shot (not Bechamel) measurement of the tentpole claim: a
+   million ~62-bit semiprimes interned into the sharded Bigarray
+   arenas, checkpointed, and reopened by mmap in milliseconds. The
+   moduli come from a segmented sieve just above 2^31 — pairing
+   consecutive primes keeps every modulus distinct without a single
+   Miller-Rabin, so fixture generation is seconds, not hours. Every
+   2^16-th modulus instead reuses one planted prime, so the gated
+   full sweep (WEAKKEYS_BENCH_MILLION=1) has cross-shard findings to
+   recover. Scale with WEAKKEYS_BENCH_MILLION_N; skip with
+   WEAKKEYS_BENCH_SKIP_MILLION. *)
+let sieve_primes count =
+  let lim = 65536 in
+  (* base primes to 2^16 > sqrt(2^31 + range) *)
+  let composite = Bytes.make (lim + 1) '\000' in
+  let base = ref [] in
+  for i = 2 to lim do
+    if Bytes.get composite i = '\000' then begin
+      base := i :: !base;
+      let j = ref (i * i) in
+      while !j <= lim do
+        Bytes.set composite !j '\001';
+        j := !j + i
+      done
+    end
+  done;
+  let base = Array.of_list (List.rev !base) in
+  let primes = Array.make count 0 in
+  let found = ref 0 in
+  let lo = ref (1 lsl 31) in
+  let seg = 1 lsl 20 in
+  let buf = Bytes.create seg in
+  while !found < count do
+    Bytes.fill buf 0 seg '\000';
+    Array.iter
+      (fun p ->
+        let r = !lo mod p in
+        let j = ref (if r = 0 then 0 else p - r) in
+        while !j < seg do
+          Bytes.set buf !j '\001';
+          j := !j + p
+        done)
+      base;
+    let i = ref 0 in
+    while !i < seg && !found < count do
+      if Bytes.get buf !i = '\000' then begin
+        primes.(!found) <- !lo + !i;
+        incr found
+      end;
+      incr i
+    done;
+    lo := !lo + seg
+  done;
+  primes
+
+let million_n =
+  match Sys.getenv_opt "WEAKKEYS_BENCH_MILLION_N" with
+  | Some s -> int_of_string s
+  | None -> 1_000_000
+
+let million_moduli =
+  lazy
+    (let primes = sieve_primes ((2 * million_n) + 1) in
+     let planted = N.of_int primes.(2 * million_n) in
+     Array.init million_n (fun i ->
+         if i land 0xffff = 11 then N.mul planted (N.of_int primes.(2 * i))
+         else N.mul (N.of_int primes.(2 * i)) (N.of_int primes.((2 * i) + 1))))
+
+type million_stats = {
+  m_n : int;
+  m_ingest_s : float;
+  m_restore_ms : float;
+  m_queryable : bool;
+  m_sweep : (float * int * bool) option;
+      (* seconds, findings, restored sweep equal *)
+}
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "weakkeys-bench" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let run_million () =
+  let moduli = Lazy.force million_moduli in
+  let n = Array.length moduli in
+  Printf.printf "===== million-modulus arena (%d moduli) =====\n%!" n;
+  let t0 = Unix.gettimeofday () in
+  let store = Corpus.Store.create ~size:n () in
+  Array.iter (fun m -> ignore (Corpus.Store.intern store m)) moduli;
+  let ingest_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "  ingest: %.2f s (%.0f moduli/s, %d shards)\n%!" ingest_s
+    (float_of_int n /. ingest_s)
+    (Corpus.Store.shard_count store);
+  with_temp_dir (fun dir ->
+      let t1 = Unix.gettimeofday () in
+      Corpus.Store.save store dir;
+      Printf.printf "  save_dir: %.2f s\n%!" (Unix.gettimeofday () -. t1);
+      let t2 = Unix.gettimeofday () in
+      let restored = Corpus.Store.load dir in
+      (* one O(1) arena read proves the mappings are live; the lazy
+         intern index is deliberately NOT built here — that is the
+         point of the mmap restore *)
+      let probe = Corpus.Store.get restored (n - 1) in
+      let restore_ms = (Unix.gettimeofday () -. t2) *. 1e3 in
+      Printf.printf "  mmap restore: %.1f ms\n%!" restore_ms;
+      let st = Stdlib.Random.State.make [| 97 |] in
+      let queryable = ref (N.equal probe moduli.(n - 1)) in
+      for _ = 1 to 10_000 do
+        let i = Stdlib.Random.State.int st n in
+        queryable := !queryable && N.equal (Corpus.Store.get restored i) moduli.(i)
+      done;
+      (* a find exercises the lazily rebuilt intern index *)
+      queryable :=
+        !queryable && Corpus.Store.find restored moduli.(0) = Some 0;
+      Printf.printf "  queryable after restore: %b\n%!" !queryable;
+      let sweep =
+        if Sys.getenv_opt "WEAKKEYS_BENCH_MILLION" = None then None
+        else begin
+          let t3 = Unix.gettimeofday () in
+          let sh = Batchgcd.Sharded.create moduli in
+          let sweep_s = Unix.gettimeofday () -. t3 in
+          let found = List.length (Batchgcd.Sharded.findings sh) in
+          Printf.printf "  full sweep: %.1f s, %d findings\n%!" sweep_s found;
+          with_temp_dir (fun sdir ->
+              Batchgcd.Sharded.save_dir sh sdir;
+              let equal =
+                Batchgcd.Batch_gcd.findings_equal
+                  (Batchgcd.Sharded.findings sh)
+                  (Batchgcd.Sharded.findings (Batchgcd.Sharded.load_dir sdir))
+              in
+              Printf.printf "  sweep checkpoint round-trips: %b\n%!" equal;
+              Some (sweep_s, found, equal))
+        end
+      in
+      {
+        m_n = n;
+        m_ingest_s = ingest_s;
+        m_restore_ms = restore_ms;
+        m_queryable = !queryable;
+        m_sweep = sweep;
+      })
+
 (* The linter's own cost: one full --deep pass over lib/ — lexical
    rules plus module graph, layering, and effect inference — recorded
    as lint_deep_ms so the semantic pass stays cheap enough to keep
@@ -437,8 +599,8 @@ let run_timing () =
   let tests =
     [
       batchgcd_section_3_2; figure2_k_sweep; tree_parallel; delta_ingest;
-      ablation_multiplication; toom3_group; recip_group; rem_precomp_group;
-      ablation_division; ablation_powmod;
+      sharded_group; ablation_multiplication; toom3_group; recip_group;
+      rem_precomp_group; ablation_division; ablation_powmod;
       ablation_gcd; keygen_styles; substrate; attribution_group; lint_group;
     ]
   in
@@ -482,7 +644,7 @@ let run_timing () =
    precomp-vs-division remainder-tree speedup, and findings_equal
    cross-checks (parallel vs sequential, and old PR 2 kernels vs the
    new dispatch ladder, on identical corpora). *)
-let emit_json rows =
+let emit_json ?million rows =
   let find name = List.assoc_opt name rows in
   let speedup kernel =
     match
@@ -529,8 +691,15 @@ let emit_json rows =
          (Batchgcd.Incremental.extend ~pool:(Lazy.force pool_seq)
             (Lazy.force inc_1792) (Lazy.force delta_256)))
   in
+  let findings_sharded_ok =
+    Batchgcd.Batch_gcd.findings_equal new_findings
+      (Batchgcd.Sharded.findings
+         (Batchgcd.Sharded.create ~pool:(Lazy.force pool_seq) ~stride:256
+            (Lazy.force moduli_2048)))
+  in
   let findings_ok =
     findings_parallel_ok && findings_kernels_ok && findings_incremental_ok
+    && findings_sharded_ok
   in
   let passes_parallel_speedup =
     match
@@ -569,6 +738,22 @@ let emit_json rows =
         findings_kernels_ok;
       Printf.fprintf oc "  \"findings_equal_incremental\": %b,\n"
         findings_incremental_ok;
+      Printf.fprintf oc "  \"findings_equal_sharded\": %b,\n"
+        findings_sharded_ok;
+      (match million with
+      | Some m ->
+        Printf.fprintf oc "  \"million_moduli\": %d,\n" m.m_n;
+        Printf.fprintf oc "  \"ingest_throughput\": %.0f,\n"
+          (float_of_int m.m_n /. m.m_ingest_s);
+        Printf.fprintf oc "  \"arena_restore_ms\": %.1f,\n" m.m_restore_ms;
+        Printf.fprintf oc "  \"million_queryable\": %b,\n" m.m_queryable;
+        (match m.m_sweep with
+        | Some (s, found, equal) ->
+          Printf.fprintf oc "  \"million_sweep_s\": %.1f,\n" s;
+          Printf.fprintf oc "  \"million_findings\": %d,\n" found;
+          Printf.fprintf oc "  \"million_checkpoint_equal\": %b,\n" equal
+        | None -> ())
+      | None -> ());
       Printf.fprintf oc "  \"attributions_equal_passes\": %b,\n"
         attributions_equal_passes;
       (match passes_parallel_speedup with
@@ -626,6 +811,12 @@ let run_report () =
 let () =
   if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_TIMING" = None then begin
     print_endline "===== timing benches (bechamel, ns per run) =====";
-    emit_json (run_timing ())
+    let rows = run_timing () in
+    let million =
+      if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_MILLION" = None then
+        Some (run_million ())
+      else None
+    in
+    emit_json ?million rows
   end;
   if Sys.getenv_opt "WEAKKEYS_BENCH_SKIP_REPORT" = None then run_report ()

@@ -154,6 +154,47 @@ let () =
       check "extend after checkpoint load = one-shot factor_batch"
         (BG.findings_equal fb_s (Inc.findings (Inc.extend ~pool:seq loaded late))));
 
+  (* Sharded arena driver: the two-tier sweep over a tiny corpus must
+     reproduce the flat findings exactly, survive an extend across a
+     shard boundary, and round-trip through a directory checkpoint
+     (mapped arenas + on-disk forests) with nothing resident until
+     the extend forces the lazy loads. *)
+  let module Sh = Batchgcd.Sharded in
+  let sh, dt = timed (fun () -> Sh.create ~pool:seq ~stride:16 moduli) in
+  row "sharded-create-96-stride16" dt;
+  check "sharded sweep findings = flat factor_batch"
+    (BG.findings_equal fb_s (Sh.findings sh));
+  check "sharded shard count" (Sh.shard_count sh = 6);
+  let sh_all, dt =
+    timed (fun () -> Sh.extend ~pool:seq (Sh.create ~pool:seq ~stride:16 early) late)
+  in
+  row "sharded-extend-32" dt;
+  check "sharded extend across boundary = one-shot"
+    (BG.findings_equal fb_s (Sh.findings sh_all));
+  let shdir = Filename.temp_file "weakkeys-smoke-shard" "" in
+  Sys.remove shdir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists shdir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat shdir f))
+          (Sys.readdir shdir);
+        Sys.rmdir shdir
+      end)
+    (fun () ->
+      let (), dt = timed (fun () -> Sh.save_dir sh_all shdir) in
+      row "sharded-save-dir" dt;
+      let restored, dt = timed (fun () -> Sh.load_dir shdir) in
+      row "sharded-load-dir" dt;
+      check "load_dir leaves forests on disk" (Sh.loaded_shards restored = 0);
+      check "restored findings = live"
+        (BG.findings_equal (Sh.findings sh_all) (Sh.findings restored));
+      let delta = corpus ~n:16 ~planted:0 in
+      check "restored extend = flat over union"
+        (BG.findings_equal
+           (BG.factor_batch ~pool:seq (Array.append moduli delta))
+           (Sh.findings (Sh.extend ~pool:seq restored delta))));
+
   (* Attribution registry: the six builtin passes over a tiny
      synthetic context (no scans, so the corpus-driven passes do the
      work), pooled execution must produce the identical evidence

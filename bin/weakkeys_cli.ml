@@ -33,6 +33,30 @@ let k_arg =
   let doc = "Subset count for the distributed batch GCD." in
   Arg.(value & opt int 16 & info [ "k" ] ~docv:"K" ~doc)
 
+let shards_arg =
+  let doc =
+    "Run the batch GCD over an id-range-sharded arena corpus with at most \
+     this many shards (a power of two). Findings are identical to the \
+     unsharded path; checkpoints become mapped arena directories that \
+     reopen in O(shards)."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"S" ~doc)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let checked_shards = function
+  | None -> None
+  | Some s when is_pow2 s -> Some s
+  | Some s ->
+    Printf.eprintf "weakkeys: --shards %d is not a power of two\n%!" s;
+    exit 2
+
+(* Power-of-two stride giving at most [shards] shards over [n] ids. *)
+let stride_for ~shards n =
+  let per = (Stdlib.max n 1 + shards - 1) / shards in
+  let rec pow2 s = if s >= per then s else pow2 (2 * s) in
+  pow2 1
+
 let quiet_arg =
   let doc = "Suppress progress output." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
@@ -43,9 +67,9 @@ let config_of seed scale =
 let progress_of quiet =
   if quiet then fun _ -> () else fun m -> Printf.eprintf "[weakkeys] %s\n%!" m
 
-let run_pipeline ?checkpoint_dir ?only_passes seed scale k quiet =
-  Weakkeys.Pipeline.run ~progress:(progress_of quiet) ~k ?checkpoint_dir
-    ?only_passes (config_of seed scale)
+let run_pipeline ?shards ?checkpoint_dir ?only_passes seed scale k quiet =
+  Weakkeys.Pipeline.run ~progress:(progress_of quiet) ~k ?shards
+    ?checkpoint_dir ?only_passes (config_of seed scale)
 
 (* ------------- report ------------- *)
 
@@ -79,9 +103,9 @@ let only_passes_of = function
          (String.split_on_char ',' s))
 
 let report_cmd =
-  let run seed scale k quiet ckpt only_pass =
+  let run seed scale k shards quiet ckpt only_pass =
     match
-      run_pipeline ?checkpoint_dir:ckpt
+      run_pipeline ?shards:(checked_shards shards) ?checkpoint_dir:ckpt
         ?only_passes:(only_passes_of only_pass) seed scale k quiet
     with
     | exception Fingerprint.Registry.Unknown_pass name ->
@@ -103,8 +127,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full study: every table and figure.")
     Term.(
-      const run $ seed_arg $ scale_arg $ k_arg $ quiet_arg $ ckpt_opt_arg
-      $ only_pass_arg)
+      const run $ seed_arg $ scale_arg $ k_arg $ shards_arg $ quiet_arg
+      $ ckpt_opt_arg $ only_pass_arg)
 
 (* ------------- table / figure ------------- *)
 
@@ -211,7 +235,10 @@ let factor_cmd =
 (* [ingest] and [extend] keep the product-tree forest of
    [Batchgcd.Incremental] in DIR/incremental.ckpt, so folding next
    month's moduli in costs one delta tree plus remainder descents
-   instead of a full recompute. *)
+   instead of a full recompute. With --shards the state is instead a
+   [Batchgcd.Sharded] arena directory (mapped limb arenas + one forest
+   checkpoint per shard) that reopens in O(shards); [extend]
+   auto-detects which form a directory holds. *)
 
 let ckpt_req_arg =
   let doc = "Checkpoint directory holding the cached batch-GCD state." in
@@ -236,59 +263,106 @@ let load_state dir =
     (fun () -> Batchgcd.Incremental.load ic)
 
 let ingest_cmd =
-  let run ckpt file k =
+  let run ckpt file k shards =
     let arr = Batchgcd.Batch_gcd.dedup (read_moduli file) in
-    Printf.eprintf "[weakkeys] ingesting %d distinct moduli (k=%d)\n%!"
-      (Array.length arr) k;
-    let inc = Batchgcd.Incremental.create ~k arr in
-    let path = save_state ckpt inc in
-    Printf.eprintf "[weakkeys] wrote %s (%d segments)\n%!" path
-      (Batchgcd.Incremental.segment_count inc);
-    print_findings
-      ~total:(Batchgcd.Incremental.corpus_size inc)
-      (Batchgcd.Incremental.findings inc)
+    match checked_shards shards with
+    | Some shards ->
+      let stride = stride_for ~shards (Array.length arr) in
+      Printf.eprintf
+        "[weakkeys] ingesting %d distinct moduli (sharded, stride=%d)\n%!"
+        (Array.length arr) stride;
+      let sh = Batchgcd.Sharded.create ~stride arr in
+      Batchgcd.Sharded.save_dir sh ckpt;
+      Printf.eprintf "[weakkeys] wrote %s (%d arena shards)\n%!" ckpt
+        (Batchgcd.Sharded.shard_count sh);
+      print_findings
+        ~total:(Batchgcd.Sharded.corpus_size sh)
+        (Batchgcd.Sharded.findings sh)
+    | None ->
+      Printf.eprintf "[weakkeys] ingesting %d distinct moduli (k=%d)\n%!"
+        (Array.length arr) k;
+      let inc = Batchgcd.Incremental.create ~k arr in
+      let path = save_state ckpt inc in
+      Printf.eprintf "[weakkeys] wrote %s (%d segments)\n%!" path
+        (Batchgcd.Incremental.segment_count inc);
+      print_findings
+        ~total:(Batchgcd.Incremental.corpus_size inc)
+        (Batchgcd.Incremental.findings inc)
   in
   Cmd.v
     (Cmd.info "ingest"
        ~doc:
          "Batch-GCD a file of RSA moduli and cache the product-tree forest \
-          in a checkpoint directory for later 'extend' runs.")
-    Term.(const run $ ckpt_req_arg $ moduli_file_arg $ k_arg)
+          in a checkpoint directory for later 'extend' runs. With --shards, \
+          the corpus is stored as mapped limb arenas sharded by id range.")
+    Term.(const run $ ckpt_req_arg $ moduli_file_arg $ k_arg $ shards_arg)
+
+let extend_sharded ckpt file =
+  let sh = Batchgcd.Sharded.load_dir ckpt in
+  let old_size = Batchgcd.Sharded.corpus_size sh in
+  let old_findings = List.length (Batchgcd.Sharded.findings sh) in
+  (* Dedup against the mapped corpus directly — no rebuild pass. *)
+  let seen = Corpus.Store.create ~size:1024 () in
+  let fresh = ref [] in
+  Array.iter
+    (fun m ->
+      if Batchgcd.Sharded.find sh m = None then begin
+        let before = Corpus.Store.size seen in
+        if Corpus.Store.intern seen m >= before then fresh := m :: !fresh
+      end)
+    (read_moduli file);
+  let fresh = Array.of_list (List.rev !fresh) in
+  Printf.eprintf
+    "[weakkeys] extending %d-modulus sharded corpus with %d new moduli\n%!"
+    old_size (Array.length fresh);
+  let sh = Batchgcd.Sharded.extend sh fresh in
+  Batchgcd.Sharded.save_dir sh ckpt;
+  Printf.eprintf "[weakkeys] wrote %s (%d arena shards, +%d findings)\n%!" ckpt
+    (Batchgcd.Sharded.shard_count sh)
+    (List.length (Batchgcd.Sharded.findings sh) - old_findings);
+  print_findings
+    ~total:(Batchgcd.Sharded.corpus_size sh)
+    (Batchgcd.Sharded.findings sh)
 
 let extend_cmd =
   let run ckpt file =
-    let inc = load_state ckpt in
-    let old_size = Batchgcd.Incremental.corpus_size inc in
-    let old_findings = List.length (Batchgcd.Incremental.findings inc) in
-    (* Dedup the delta against everything already in the corpus. *)
-    let store = Corpus.Store.create ~size:(2 * old_size) () in
-    Array.iter
-      (fun m -> ignore (Corpus.Store.intern store m))
-      (Batchgcd.Incremental.corpus inc);
-    let fresh = ref [] in
-    Array.iter
-      (fun m ->
-        let before = Corpus.Store.size store in
-        if Corpus.Store.intern store m >= before then fresh := m :: !fresh)
-      (read_moduli file);
-    let fresh = Array.of_list (List.rev !fresh) in
-    Printf.eprintf "[weakkeys] extending %d-modulus corpus with %d new moduli\n%!"
-      old_size (Array.length fresh);
-    let inc = Batchgcd.Incremental.extend inc fresh in
-    let path = save_state ckpt inc in
-    Printf.eprintf "[weakkeys] wrote %s (%d segments, +%d findings)\n%!" path
-      (Batchgcd.Incremental.segment_count inc)
-      (List.length (Batchgcd.Incremental.findings inc) - old_findings);
-    print_findings
-      ~total:(Batchgcd.Incremental.corpus_size inc)
-      (Batchgcd.Incremental.findings inc)
+    if Batchgcd.Sharded.is_dir_checkpoint ckpt then extend_sharded ckpt file
+    else begin
+      let inc = load_state ckpt in
+      let old_size = Batchgcd.Incremental.corpus_size inc in
+      let old_findings = List.length (Batchgcd.Incremental.findings inc) in
+      (* Dedup the delta against everything already in the corpus. *)
+      let store = Corpus.Store.create ~size:(2 * old_size) () in
+      Array.iter
+        (fun m -> ignore (Corpus.Store.intern store m))
+        (Batchgcd.Incremental.corpus inc);
+      let fresh = ref [] in
+      Array.iter
+        (fun m ->
+          let before = Corpus.Store.size store in
+          if Corpus.Store.intern store m >= before then fresh := m :: !fresh)
+        (read_moduli file);
+      let fresh = Array.of_list (List.rev !fresh) in
+      Printf.eprintf
+        "[weakkeys] extending %d-modulus corpus with %d new moduli\n%!"
+        old_size (Array.length fresh);
+      let inc = Batchgcd.Incremental.extend inc fresh in
+      let path = save_state ckpt inc in
+      Printf.eprintf "[weakkeys] wrote %s (%d segments, +%d findings)\n%!" path
+        (Batchgcd.Incremental.segment_count inc)
+        (List.length (Batchgcd.Incremental.findings inc) - old_findings);
+      print_findings
+        ~total:(Batchgcd.Incremental.corpus_size inc)
+        (Batchgcd.Incremental.findings inc)
+    end
   in
   Cmd.v
     (Cmd.info "extend"
        ~doc:
          "Fold new moduli into a checkpointed corpus via incremental batch \
           GCD; no cached product tree is rebuilt, findings match a \
-          from-scratch run over the union.")
+          from-scratch run over the union. Sharded arena checkpoints are \
+          auto-detected and extended in place.")
     Term.(const run $ ckpt_req_arg $ moduli_file_arg)
 
 (* ------------- keygen ------------- *)

@@ -1,0 +1,65 @@
+(* Bechamel-conditions check of the recip bench pair, mirroring
+   bench/main.ml's recip_group. *)
+module N = Bignum.Nat
+open Bechamel
+
+let drbg = Hashes.Drbg.create ~seed:"bench-fixtures" ()
+let gen = Hashes.Drbg.gen_fn drbg
+let div_den = lazy (N.random_bits gen 150_000)
+
+let with_recip r f =
+  let r0 = !N.recip_threshold in
+  N.recip_threshold := r;
+  Fun.protect ~finally:(fun () -> N.recip_threshold := r0) f
+
+let t name f = Test.make ~name (Staged.stage f)
+
+let () =
+  (* correctness first: ladder = division over random sizes *)
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 60 do
+    let bits = 2000 + Random.State.int st 12_000 in
+    let b = N.random_bits gen bits in
+    let b = if N.is_zero b then N.one else b in
+    let nl = Array.length (N.to_limbs b) in
+    let newton = with_recip 4 (fun () -> N.recip b) in
+    let exact = N.div (N.shift_left N.one (2 * nl * N.limb_bits)) b in
+    if not (N.equal newton exact) then begin
+      Printf.printf "MISMATCH at %d bits\n%!" bits;
+      exit 1
+    end
+  done;
+  print_endline "exactness: ok (60 random sizes)";
+  ignore (Lazy.force div_den);
+  (* simulate the full bench's live heap: retain ~300MB of limb arrays *)
+  let ballast =
+    if Sys.getenv_opt "BALLAST" = None then [||]
+    else Array.init 3000 (fun i ->
+        N.random_bits gen (10_000 + (i mod 7) * 1000))
+  in
+  Printf.printf "ballast: %d nats live\n%!" (Array.length ballast);
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.8) ~kde:None
+      ~stabilize:false ()
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let group =
+    Test.make_grouped ~name:"recip"
+      [
+        t "recip-150kbit-newton" (fun () -> N.recip (Lazy.force div_den));
+        t "recip-150kbit-division" (fun () ->
+            with_recip max_int (fun () -> N.recip (Lazy.force div_den)));
+      ]
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let raw = Benchmark.all cfg instances group in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name v ->
+      let ns =
+        match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> nan
+      in
+      Printf.printf "  %-32s %8.2f ms\n%!" name (ns /. 1e6))
+    results

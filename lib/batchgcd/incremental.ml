@@ -14,6 +14,23 @@ type t = {
 let findings t = t.findings
 let corpus_size t = t.total
 let segment_count t = Array.length t.segments
+let segments t = Array.copy t.segments
+
+let of_segments ~findings segments =
+  let expected = ref 0 in
+  Array.iter
+    (fun (off, tree) ->
+      if off <> !expected then
+        invalid_arg "Batchgcd.Incremental.of_segments: segment offsets disagree";
+      expected := !expected + Array.length (PT.leaves tree))
+    segments;
+  let total = !expected in
+  List.iter
+    (fun f ->
+      if f.BG.index < 0 || f.BG.index >= total then
+        invalid_arg "Batchgcd.Incremental.of_segments: finding index out of range")
+    findings;
+  { total; segments = Array.copy segments; findings }
 
 let corpus t =
   if t.total = 0 then [||]

@@ -72,6 +72,17 @@ val corpus : t -> Bignum.Nat.t array
 val corpus_size : t -> int
 val segment_count : t -> int
 
+val segments : t -> (int * Product_tree.t) array
+(** The forest as (leaf offset, tree) pairs in offset order (a fresh
+    array; the trees are shared). With {!of_segments} this lets
+    {!Sharded} re-group one corpus-wide forest by id range. *)
+
+val of_segments :
+  findings:Batch_gcd.finding list -> (int * Product_tree.t) array -> t
+(** Reassemble a state from segments and their findings. Offsets must
+    be contiguous from 0 and finding indexes in range.
+    @raise Invalid_argument otherwise. *)
+
 val total_limbs : t -> int
 (** Sum of {!Product_tree.total_limbs} over the forest — the resident
     cost of keeping the cache. *)

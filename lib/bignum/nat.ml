@@ -18,7 +18,7 @@ let mask = base - 1
 let karatsuba_threshold = ref 24 (* lint: allow toplevel-ref *)
 let burnikel_ziegler_threshold = ref 40 (* lint: allow toplevel-ref *)
 let toom3_threshold = ref 96 (* lint: allow toplevel-ref *)
-let recip_threshold = ref 16 (* lint: allow toplevel-ref *)
+let recip_threshold = ref 64 (* lint: allow toplevel-ref *)
 let barrett_threshold = ref 48 (* lint: allow toplevel-ref *)
 let parallel_mul_threshold = ref 512 (* lint: allow toplevel-ref *)
 
@@ -748,43 +748,112 @@ let drop_limbs (a : t) k =
   else norm (Array.sub a k (la - k))
 
 (* recip_core b n = floor(base^(2n) / b) for b of exactly n limbs with
-   a nonzero top limb. Newton-Raphson on the shifted reciprocal: lift
-   the reciprocal of the top ceil(n/2) limbs, apply one quadratically
-   convergent refinement step (two multiplies), then repair the tiny
-   residual error exactly with one short division by b. Division is
-   only used at the recursion base and for the final correction, so the
-   cost is dominated by multiplications and inherits their
-   (parallel, subquadratic) kernels. *)
-let rec recip_core (b : t) n : t =
+   a nonzero top limb. Newton-Raphson on the shifted reciprocal,
+   walked iteratively up a precision ladder n, ceil(n/2), ... down to
+   [recip_threshold]. The seed is one short Knuth division at the base
+   precision; each level lifts the previous estimate and applies one
+   quadratically convergent step against the top m limbs of b. The
+   step's correction multiply runs on a truncated error window (the
+   dropped low limbs cannot reach the kept result limbs), and no
+   per-level exact repair is done: the estimate drifts by a bounded
+   number of limbs per level, all repaired at once by the closing
+   short division at full precision — which is exact for any positive
+   estimate, so the drift only ever costs time, never correctness.
+   Division is therefore used once at the seed and once at the end,
+   and the cost is dominated by the two top-level half-size
+   multiplies. *)
+(* x * y for y roughly twice as long as x (the reciprocal ladder's
+   shape): split y into |x|-limb blocks so every block multiply runs
+   balanced -- the generic [mul] pads its unbalanced path and loses
+   about a third here. Near-balanced operands go straight through. *)
+let mul_blocks (x : t) (y : t) : t =
+  let lx = Array.length x and ly = Array.length y in
+  if lx = 0 || ly = 0 then zero
+    (* Block-splitting pays when both operands are wide but unbalanced
+       (each block multiply runs the balanced fast path). For a narrow
+       [x] the schoolbook row is already O(lx*ly) with one result
+       allocation, while ly/lx blocks would re-allocate the running
+       sum per block — O(ly^2/lx) words of garbage. *)
+  else if ly <= lx + lx / 4 || lx < 2 * !karatsuba_threshold then mul x y
+  else begin
+    let acc = ref zero in
+    let off = ref 0 in
+    while !off < ly do
+      let len = Stdlib.min lx (ly - !off) in
+      let blk = norm (Array.sub y !off len) in
+      if not (is_zero blk) then
+        acc := add !acc (shift_limbs (mul x blk) !off);
+      off := !off + lx
+    done;
+    !acc
+  end
+
+let recip_core (b : t) n : t =
   if n <= !recip_threshold then div (shift_limbs one (2 * n)) b
   else begin
-    let h = (n + 1) / 2 in
-    (* Top h limbs of b; top limb stays nonzero, so the recursive
-       precondition holds. *)
-    let bh = norm (Array.sub b (n - h) h) in
-    let xh = recip_core bh h in
-    (* x0 = xh * base^(n-h) approximates base^(2n)/b from above-ish;
-       one Newton step: x1 = x0 + x0*(base^(2n) - x0*b)/base^(2n). *)
-    let x0 = shift_limbs xh (n - h) in
-    let p0 = mul x0 b in
-    let beta2n = shift_limbs one (2 * n) in
-    let x1 =
-      if compare p0 beta2n <= 0 then
-        let e = sub beta2n p0 in
-        add x0 (drop_limbs (mul x0 e) (2 * n))
-      else
-        let e = sub p0 beta2n in
-        sub x0 (drop_limbs (mul x0 e) (2 * n))
+    (* Precision ladder, seed size first. The seed division costs
+       ~s^1.47 while every lift level carries a fixed overhead on top
+       of its multiplies, so descending far below n is a loss: stop
+       near n/5 (2-3 lifts) and pay one slightly larger — still
+       cheap — exact short division instead. *)
+    let stop = Stdlib.max !recip_threshold (n / 5) in
+    let rec ladder acc m =
+      if m <= stop then m :: acc else ladder (m :: acc) ((m + 1) / 2)
     in
-    (* Exact correction: the Newton estimate is off by a handful of
-       units at most, so the closing divmod is of a short number by b
-       and costs O(M(n)) not O(n^2). *)
-    let p1 = mul x1 b in
-    if compare p1 beta2n <= 0 then
-      let q, _ = divmod (sub beta2n p1) b in
+    let sizes = ladder [] n in
+    let s = List.hd sizes in
+    (* One-shot seed: exact short division at the base precision. *)
+    let x = ref (div (shift_limbs one (2 * s))
+                   (norm (Array.sub b (n - s) s))) in
+    let h = ref s in
+    (* Residual bookkeeping: after the last level,
+       base^(2n) - x1*b = e -+ t*b (sign by branch), so the closing
+       repair reuses the level's exact e instead of multiplying
+       x1 * b from scratch. *)
+    let last_e = ref zero and last_t = ref zero and last_neg = ref false in
+    List.iter
+      (fun m ->
+        let xh = !x in
+        let bm = if m = n then b else norm (Array.sub b (n - m) m) in
+        (* x0 = xh * base^(m-h) lifts the level-h estimate; the Newton
+           step is x1 = x0 +- x0*e/base^(2m) for e = |base^(2m) - x0*bm|,
+           computed exactly (e is a cancellation down to scale
+           base^(2m-h): bm's low limbs all reach it). x0's trailing
+           zero limbs never enter a multiply. *)
+        let p0 = shift_limbs (mul_blocks xh bm) (m - !h) in
+        let beta2m = shift_limbs one (2 * m) in
+        let neg = compare p0 beta2m > 0 in
+        let e = if neg then sub p0 beta2m else sub beta2m p0 in
+        (* Only the top window of e reaches the kept limbs of the
+           correction t = xh*e/base^(m+h): dropping e's low m-4 limbs
+           perturbs t by under a unit. *)
+        let de = Stdlib.max 0 (m - 4) in
+        let t = drop_limbs (mul xh (drop_limbs e de)) (m + !h - de) in
+        let x0 = shift_limbs xh (m - !h) in
+        let x1, t_applied =
+          if not neg then (add x0 t, t)
+          else if compare t x0 < 0 then (sub x0 t, t)
+          else (x0, zero) (* degenerate drift; repaired below *)
+        in
+        last_e := e;
+        last_t := t_applied;
+        last_neg := neg;
+        x := x1;
+        h := m)
+      (List.tl sizes);
+    (* Exact closing repair from the threaded residual: the ladder's
+       accumulated drift is a few limbs at scale base^n, so the
+       closing divmod is of a short number by b and costs O(M(n)) not
+       O(n^2). *)
+    let x1 = !x in
+    let tb = mul_blocks !last_t b in
+    let pos_part, neg_part =
+      if !last_neg then (tb, !last_e) else (!last_e, tb) in
+    if compare pos_part neg_part >= 0 then
+      let q, _ = divmod (sub pos_part neg_part) b in
       add x1 q
     else begin
-      let q, r = divmod (sub p1 beta2n) b in
+      let q, r = divmod (sub neg_part pos_part) b in
       let x = sub x1 q in
       if is_zero r then x else sub x one
     end

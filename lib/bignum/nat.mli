@@ -205,7 +205,8 @@ val toom3_threshold : int ref
     switch from Karatsuba to Toom-3 (default 96). *)
 
 val recip_threshold : int ref
-(** Below this divisor size (limbs) {!recip} just divides (default 16). *)
+(** Divisor size (limbs) at or below which {!recip} just divides; also
+    the seed precision of the Newton ladder above it (default 64). *)
 
 val barrett_threshold : int ref
 (** Minimum divisor size (limbs) for {!precompute} to cache a

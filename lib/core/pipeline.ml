@@ -3,6 +3,8 @@ module Sc = Netsim.Scanner
 module Cert = X509lite.Certificate
 module BG = Batchgcd.Batch_gcd
 module Inc = Batchgcd.Incremental
+module Sh = Batchgcd.Sharded
+module Io = Corpus.Io
 module Fp = Fingerprint.Factored
 module Evidence = Fingerprint.Evidence
 module Attribution = Fingerprint.Attribution
@@ -10,6 +12,45 @@ module FPass = Fingerprint.Pass
 module Registry = Fingerprint.Registry
 module Store = Corpus.Store
 module Id_set = Corpus.Id_set
+
+(* The cached GCD artifact: the classic single-address-space segment
+   forest, or the id-range-sharded arena-backed driver when the run
+   asked for [shards]. Both carry the forest and the findings; extend
+   continues in whichever mode the state is in. *)
+type gcd_state = Flat of Inc.t | Sharded of Sh.t
+
+let gcd_findings = function
+  | Flat inc -> Inc.findings inc
+  | Sharded sh -> Sh.findings sh
+
+let gcd_corpus_size = function
+  | Flat inc -> Inc.corpus_size inc
+  | Sharded sh -> Sh.corpus_size sh
+
+let gcd_segment_count = function
+  | Flat inc -> Inc.segment_count inc
+  | Sharded sh -> Sh.segment_count sh
+
+let save_gcd oc = function
+  | Flat inc ->
+    Io.write_string oc "flat";
+    Inc.save oc inc
+  | Sharded sh ->
+    Io.write_string oc "sharded";
+    Sh.save oc sh
+
+let load_gcd ic =
+  match Io.read_string ic with
+  | "flat" -> Flat (Inc.load ic)
+  | "sharded" -> Sharded (Sh.load ic)
+  | _ -> raise (Io.Corrupt "unknown GCD artifact kind")
+
+(* Power-of-two stride giving at most [shards] shards over [n] ids. *)
+let stride_for ~shards n =
+  if shards < 1 then invalid_arg "Pipeline: shards must be >= 1";
+  let per = (Stdlib.max n 1 + shards - 1) / shards in
+  let rec pow2 s = if s >= per then s else pow2 (2 * s) in
+  pow2 1
 
 type t = {
   world : Netsim.World.t;
@@ -19,7 +60,7 @@ type t = {
   https_moduli : N.t array;
   store : Store.t;
   corpus : N.t array;
-  inc : Inc.t;
+  gcd : gcd_state;
   findings : BG.finding list;
   factored : Fp.t list;
   unrecovered : N.t list;
@@ -175,8 +216,8 @@ let stage_attribution sctx ~checkpointed ?pool ?only_passes world scans store
 (* Downstream of the GCD artifact, of_scans and extend are identical:
    recover factorizations, index, and run the attribution passes. *)
 let finish sctx ?pool ?only_passes ~checkpointed world scans monthly
-    protocol_snapshots https_moduli store corpus inc =
-  let findings = Inc.findings inc in
+    protocol_snapshots https_moduli store corpus gcd =
+  let findings = gcd_findings gcd in
   let factored, unrecovered =
     Stage.run sctx "fingerprint" (fun () -> Fp.recover findings)
   in
@@ -198,7 +239,7 @@ let finish sctx ?pool ?only_passes ~checkpointed world scans monthly
     https_moduli;
     store;
     corpus;
-    inc;
+    gcd;
     findings;
     factored;
     unrecovered;
@@ -209,8 +250,8 @@ let finish sctx ?pool ?only_passes ~checkpointed world scans monthly
     timings = Stage.timings sctx;
   }
 
-let of_scans ?progress ?(k = 16) ?domains ?checkpoint_dir ?only_passes world
-    scans =
+let of_scans ?progress ?(k = 16) ?shards ?domains ?checkpoint_dir ?only_passes
+    world scans =
   let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
   let say = match progress with Some f -> f | None -> fun _ -> () in
   let monthly, protocol_snapshots =
@@ -227,28 +268,41 @@ let of_scans ?progress ?(k = 16) ?domains ?checkpoint_dir ?only_passes world
   (* One persistent pool for the whole pipeline run; [domains] sizes
      it, defaulting to the hardware (or WEAKKEYS_DOMAINS). *)
   let pool = Parallel.Pool.get ?domains () in
-  say
-    (Printf.sprintf "batch GCD over %d distinct moduli (k=%d, %d domains)"
-       (Array.length corpus) k (Parallel.Pool.size pool));
-  let inc =
-    Stage.run_cached sctx "batchgcd"
-      ~key:(corpus_key corpus (Printf.sprintf "/k=%d" k))
-      ~save:Inc.save ~load:Inc.load
-      (fun () -> Inc.create ~pool ~k corpus)
+  let gcd =
+    match shards with
+    | None ->
+      say
+        (Printf.sprintf "batch GCD over %d distinct moduli (k=%d, %d domains)"
+           (Array.length corpus) k (Parallel.Pool.size pool));
+      Stage.run_cached sctx "batchgcd"
+        ~key:(corpus_key corpus (Printf.sprintf "/k=%d" k))
+        ~save:save_gcd ~load:load_gcd
+        (fun () -> Flat (Inc.create ~pool ~k corpus))
+    | Some shards ->
+      let stride = stride_for ~shards (Array.length corpus) in
+      say
+        (Printf.sprintf
+           "sharded batch GCD over %d distinct moduli (stride=%d, %d domains)"
+           (Array.length corpus) stride (Parallel.Pool.size pool));
+      Stage.run_cached sctx "batchgcd"
+        ~key:(corpus_key corpus (Printf.sprintf "/stride=%d" stride))
+        ~save:save_gcd ~load:load_gcd
+        (fun () -> Sharded (Sh.create ~pool ~stride corpus))
   in
-  say (Printf.sprintf "%d moduli factored" (List.length (Inc.findings inc)));
+  say (Printf.sprintf "%d moduli factored" (List.length (gcd_findings gcd)));
   finish sctx ~pool ?only_passes
     ~checkpointed:(checkpoint_dir <> None)
-    world scans monthly protocol_snapshots https_moduli store corpus inc
+    world scans monthly protocol_snapshots https_moduli store corpus gcd
 
-let of_world ?progress ?k ?domains ?checkpoint_dir ?only_passes world =
+let of_world ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes world =
   (match progress with Some f -> f "running scan campaigns" | None -> ());
   let scans = Sc.run_all world in
-  of_scans ?progress ?k ?domains ?checkpoint_dir ?only_passes world scans
+  of_scans ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes world
+    scans
 
-let run ?progress ?k ?domains ?checkpoint_dir ?only_passes config =
+let run ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes config =
   let world = Netsim.World.build ?progress config in
-  of_world ?progress ?k ?domains ?checkpoint_dir ?only_passes world
+  of_world ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes world
 
 let extend ?progress ?domains ?checkpoint_dir ?only_passes t new_scans =
   let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
@@ -277,17 +331,25 @@ let extend ?progress ?domains ?checkpoint_dir ?only_passes t new_scans =
   | Some f ->
     f
       (Printf.sprintf "delta batch GCD: %d new moduli against %d cached"
-         (Array.length fresh) (Inc.corpus_size t.inc))
+         (Array.length fresh) (gcd_corpus_size t.gcd))
   | None -> ());
-  let inc =
+  let gcd =
     Stage.run_cached sctx "batchgcd"
-      ~key:(corpus_key corpus "/extend")
-      ~save:Inc.save ~load:Inc.load
-      (fun () -> Inc.extend ~pool t.inc fresh)
+      ~key:
+        (corpus_key corpus
+           (match t.gcd with
+           | Flat _ -> "/extend"
+           | Sharded sh ->
+             Printf.sprintf "/extend/stride=%d" (Sh.stride sh)))
+      ~save:save_gcd ~load:load_gcd
+      (fun () ->
+        match t.gcd with
+        | Flat inc -> Flat (Inc.extend ~pool inc fresh)
+        | Sharded sh -> Sharded (Sh.extend ~pool sh fresh))
   in
   finish sctx ~pool ?only_passes
     ~checkpointed:(checkpoint_dir <> None)
-    t.world scans monthly t.protocol_snapshots https_moduli store corpus inc
+    t.world scans monthly t.protocol_snapshots https_moduli store corpus gcd
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

@@ -22,6 +22,17 @@
     checkpoint directory the whole table is content-addressed and
     restorable like the GCD artifact. *)
 
+type gcd_state =
+  | Flat of Batchgcd.Incremental.t
+      (** the classic single-address-space segment forest *)
+  | Sharded of Batchgcd.Sharded.t
+      (** id-range-sharded arena-backed driver (runs with [?shards]) *)
+(** The cached GCD artifact. {!extend} continues in whichever mode the
+    state is in; findings are exactly equal either way. *)
+
+val gcd_corpus_size : gcd_state -> int
+val gcd_segment_count : gcd_state -> int
+
 type t = {
   world : Netsim.World.t;
   scans : Netsim.Scanner.scan list;  (** all raw scans *)
@@ -34,9 +45,10 @@ type t = {
   corpus : Bignum.Nat.t array;
       (** distinct moduli fed to batch GCD (HTTPS + SSH + mail), in
           store-id order: [corpus.(id)] is the modulus with that id *)
-  inc : Batchgcd.Incremental.t;
-      (** cached GCD state: segment forest + findings; feed to
-          {!extend} or serialize via {!Batchgcd.Incremental.save} *)
+  gcd : gcd_state;
+      (** cached GCD state: segment forest(s) + findings; feed to
+          {!extend} or serialize via {!Batchgcd.Incremental.save} /
+          {!Batchgcd.Sharded.save} *)
   findings : Batchgcd.Batch_gcd.finding list;
   factored : Fingerprint.Factored.t list;
   unrecovered : Bignum.Nat.t list;
@@ -57,13 +69,19 @@ type t = {
 val run :
   ?progress:(string -> unit) ->
   ?k:int ->
+  ?shards:int ->
   ?domains:int ->
   ?checkpoint_dir:string ->
   ?only_passes:string list ->
   Netsim.World.config -> t
 (** Build the world and run the whole measurement pipeline. [k] is the
     subset count for the distributed batch GCD (default 16, the
-    paper's value; clamped to the corpus size). [domains] sizes the
+    paper's value; clamped to the corpus size). [shards] switches the
+    GCD stage to the id-range-sharded arena driver
+    ({!Batchgcd.Sharded}, [k] is then ignored): the corpus is split
+    into at most that many power-of-two-stride shards, swept two-tier
+    with per-shard trees as independent pool jobs — findings are
+    exactly those of the unsharded path. [domains] sizes the
     persistent {!Parallel.Pool} used for key generation, the k-subset
     fan-out, the level-parallel tree kernels and the attribution
     passes (default: the hardware's recommended domain count,
@@ -78,13 +96,13 @@ val run :
     @raise Fingerprint.Registry.Unknown_pass on an unknown pass name. *)
 
 val of_world :
-  ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
+  ?progress:(string -> unit) -> ?k:int -> ?shards:int -> ?domains:int ->
   ?checkpoint_dir:string -> ?only_passes:string list ->
   Netsim.World.t -> t
 (** Same, reusing an already-built world. *)
 
 val of_scans :
-  ?progress:(string -> unit) -> ?k:int -> ?domains:int ->
+  ?progress:(string -> unit) -> ?k:int -> ?shards:int -> ?domains:int ->
   ?checkpoint_dir:string -> ?only_passes:string list ->
   Netsim.World.t -> Netsim.Scanner.scan list -> t
 (** Same, from an explicit scan list (the snapshot-ingest entry point:
@@ -97,7 +115,9 @@ val extend :
 (** [extend t new_scans] folds a fresh batch of scans into the
     pipeline: new distinct moduli are interned after the existing ids,
     the cached product-tree forest is extended with one delta tree
-    ({!Batchgcd.Incremental.extend} — no old tree is rebuilt), and the
+    ({!Batchgcd.Incremental.extend} — no old tree is rebuilt; a
+    sharded state goes through {!Batchgcd.Sharded.extend}, one delta
+    tree per touched shard), and the
     fingerprint/index/attribution stages rerun over the combined
     corpus. Findings are exactly those of a from-scratch run over the
     union. [t] itself is not mutated and remains usable. *)

@@ -1,0 +1,165 @@
+module N = Bignum.Nat
+module A1 = Bigarray.Array1
+
+(* One contiguous int32 Bigarray per region: limbs are 31-bit, so each
+   fits an int32 exactly and the checkpoint bytes are the runtime
+   representation (no per-modulus boxing, no parse on restore). *)
+type buf = (int32, Bigarray.int32_elt, Bigarray.c_layout) A1.t
+
+type t = {
+  mutable offs : buf; (* count+1 used entries; offs.{0} = 0 *)
+  mutable limbs : buf;
+  mutable count : int;
+  mutable limb_count : int;
+  mutable source : string option;
+      (* file the arena is currently a read-only mapping of; cleared by
+         the copy-on-first-append thaw *)
+}
+
+let magic = "wkarena1"
+let header_bytes = 16
+
+let mk_buf n : buf =
+  A1.create Bigarray.int32 Bigarray.c_layout (Stdlib.max 1 n)
+
+let create ?(values = 64) ?(limbs = 256) () =
+  let offs = mk_buf (values + 1) in
+  A1.set offs 0 0l;
+  { offs; limbs = mk_buf limbs; count = 0; limb_count = 0; source = None }
+
+let count t = t.count
+let limb_count t = t.limb_count
+let is_mapped t = t.source <> None
+
+(* Copy a mapped (or full) region into a fresh buffer with headroom. *)
+let respace (b : buf) used need =
+  let cap = Stdlib.max need (Stdlib.max 8 (2 * used)) in
+  let b' = mk_buf cap in
+  if used > 0 then A1.blit (A1.sub b 0 used) (A1.sub b' 0 used);
+  b'
+
+let thaw t =
+  if t.source <> None then begin
+    t.offs <- respace t.offs (t.count + 1) (t.count + 2);
+    t.limbs <- respace t.limbs t.limb_count (t.limb_count + 1);
+    t.source <- None
+  end
+
+let append t n =
+  thaw t;
+  let ls = N.to_limbs n in
+  let len = Array.length ls in
+  if t.count + 2 > A1.dim t.offs then
+    t.offs <- respace t.offs (t.count + 1) (t.count + 2);
+  if t.limb_count + len > A1.dim t.limbs then
+    t.limbs <- respace t.limbs t.limb_count (t.limb_count + len);
+  for k = 0 to len - 1 do
+    A1.set t.limbs (t.limb_count + k) (Int32.of_int ls.(k))
+  done;
+  t.limb_count <- t.limb_count + len;
+  t.count <- t.count + 1;
+  A1.set t.offs t.count (Int32.of_int t.limb_count);
+  t.count - 1
+
+(* Offset-table reads go through one validating bounds check: a mapped
+   arena's table is untrusted file content, and a bad entry must fail
+   as Corrupt, not as a Bigarray bounds crash. *)
+let span t i =
+  if i < 0 || i >= t.count then invalid_arg "Corpus.Arena.get: out of range";
+  let a = Int32.to_int (A1.get t.offs i)
+  and b = Int32.to_int (A1.get t.offs (i + 1)) in
+  if a < 0 || b < a || b > t.limb_count then
+    raise (Io.Corrupt "arena offset table corrupt");
+  (a, b - a)
+
+let length t i = snd (span t i)
+
+let get t i =
+  let off, len = span t i in
+  let ls = Array.init len (fun k -> Int32.to_int (A1.get t.limbs (off + k))) in
+  match N.of_limbs ls with
+  | n -> n
+  | exception Invalid_argument _ -> raise (Io.Corrupt "arena limb corrupt")
+
+let matches t i ls =
+  let off, len = span t i in
+  len = Array.length ls
+  &&
+  let rec go k =
+    k >= len || (Int32.to_int (A1.get t.limbs (off + k)) = ls.(k) && go (k + 1))
+  in
+  go 0
+
+let iter f t =
+  for i = 0 to t.count - 1 do
+    f i (get t i)
+  done
+
+let write_header fd count limb_count =
+  let hdr = Bytes.create header_bytes in
+  Bytes.blit_string magic 0 hdr 0 8;
+  Bytes.set_int32_le hdr 8 (Int32.of_int count);
+  Bytes.set_int32_le hdr 12 (Int32.of_int limb_count);
+  if Unix.write fd hdr 0 header_bytes <> header_bytes then
+    raise (Sys_error "Corpus.Arena: short header write")
+
+let map fd ~shared total =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int header_bytes) Bigarray.int32
+       Bigarray.c_layout shared [| total |])
+
+let save t path =
+  (* A still-mapped arena *is* its file: nothing to write. *)
+  if t.source <> Some path then begin
+    if t.count > 0x3FFFFFFF || t.limb_count > 0x3FFFFFFF then
+      invalid_arg "Corpus.Arena.save: arena too large for one shard";
+    let tmp = path ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        write_header fd t.count t.limb_count;
+        let m = map fd ~shared:true (t.count + 1 + t.limb_count) in
+        A1.blit (A1.sub t.offs 0 (t.count + 1)) (A1.sub m 0 (t.count + 1));
+        if t.limb_count > 0 then
+          A1.blit
+            (A1.sub t.limbs 0 t.limb_count)
+            (A1.sub m (t.count + 1) t.limb_count));
+    Sys.rename tmp path
+  end
+
+let really_read fd buf len =
+  let rec go o =
+    if o < len then begin
+      let r = Unix.read fd buf o (len - o) in
+      if r = 0 then raise (Io.Corrupt "arena file too short");
+      go (o + r)
+    end
+  in
+  go 0
+
+let load path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let hdr = Bytes.create header_bytes in
+      really_read fd hdr header_bytes;
+      if Bytes.sub_string hdr 0 8 <> magic then
+        raise (Io.Corrupt "not an arena file");
+      let count = Int32.to_int (Bytes.get_int32_le hdr 8) in
+      let limb_count = Int32.to_int (Bytes.get_int32_le hdr 12) in
+      if count < 0 || limb_count < 0 then
+        raise (Io.Corrupt "negative arena counts");
+      let total = count + 1 + limb_count in
+      let size = (Unix.fstat fd).Unix.st_size in
+      if size < header_bytes + (4 * total) then
+        raise (Io.Corrupt "arena file truncated");
+      let m = map fd ~shared:false total in
+      let offs = A1.sub m 0 (count + 1) in
+      let limbs = A1.sub m (count + 1) limb_count in
+      if
+        Int32.to_int (A1.get offs 0) <> 0
+        || Int32.to_int (A1.get offs count) <> limb_count
+      then raise (Io.Corrupt "arena offset table corrupt");
+      { offs; limbs; count; limb_count; source = Some path })

@@ -1,0 +1,50 @@
+(** Append-only limb heap backed by a contiguous int32 {!Bigarray}.
+
+    Each stored natural occupies a [offset, offset+len) slice of one
+    shared limb buffer; a second buffer holds the offset table.  The
+    on-disk checkpoint is byte-identical to the runtime buffers, so
+    {!load} is a single [Unix.map_file] — opening an arena costs O(1)
+    in the number of stored values.  Little-endian hosts only (the
+    limb region is written through a native-order int32 mapping). *)
+
+type t
+
+val create : ?values:int -> ?limbs:int -> unit -> t
+(** Fresh in-memory arena. [values]/[limbs] are capacity hints. *)
+
+val count : t -> int
+(** Number of stored values. *)
+
+val limb_count : t -> int
+(** Total limbs stored across all values. *)
+
+val is_mapped : t -> bool
+(** [true] while the arena is a read-only file mapping (no append has
+    happened since {!load}). *)
+
+val append : t -> Bignum.Nat.t -> int
+(** Store a value; returns its dense local index.  Appending to a
+    mapped arena first copies it into private buffers (thaw). *)
+
+val get : t -> int -> Bignum.Nat.t
+(** Materialise the value at an index.  Raises [Invalid_argument] on
+    out-of-range indices and {!Io.Corrupt} if a mapped offset table is
+    inconsistent. *)
+
+val length : t -> int -> int
+(** Limb count of the value at an index, without materialising it. *)
+
+val matches : t -> int -> int array -> bool
+(** [matches t i limbs] compares the stored value against a limb
+    array (as produced by [Nat.to_limbs]) without materialising it. *)
+
+val iter : (int -> Bignum.Nat.t -> unit) -> t -> unit
+
+val save : t -> string -> unit
+(** Write the arena to a file (atomic tmp+rename).  A no-op when the
+    arena is still an unmodified mapping of that same file. *)
+
+val load : string -> t
+(** Map an arena file read-only.  Raises {!Io.Corrupt} on a bad magic,
+    negative counts, a truncated file, or an inconsistent offset
+    table. *)

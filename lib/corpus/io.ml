@@ -17,6 +17,16 @@ let write_string oc s =
 
 let read_string ic =
   let len = read_int ic in
+  (* A fuzzed or truncated header can claim up to a gigabyte: compare
+     the prefix against what is actually left in the channel before
+     attempting the allocation. Checkpoint channels are always files;
+     a non-seekable channel (Sys_error from the length probe) falls
+     back to the End_of_file check below. *)
+  (match in_channel_length ic with
+  | total ->
+    if len > total - pos_in ic then
+      raise (Corrupt "length prefix overruns remaining input")
+  | exception Sys_error _ -> ());
   try really_input_string ic len
   with End_of_file -> raise (Corrupt "truncated string record")
 

@@ -1,0 +1,105 @@
+(* Id-range sharding over limb arenas.  The stride is a power of two,
+   so global id <-> (shard, local) routing is two bit operations:
+   shard = id lsr bits, local = id land (stride - 1).  Shards fill
+   sequentially, keeping global ids dense in insertion order — the
+   same contract the unsharded store had. *)
+
+type t = {
+  stride : int;
+  bits : int; (* log2 stride *)
+  mutable arenas : Arena.t array; (* one per shard, in id order *)
+  mutable count : int; (* total values across shards *)
+}
+
+let magic = "weakkeys-shards/1"
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go b m = if m >= n then b else go (b + 1) (m * 2) in
+  go 0 1
+
+let default_stride = 65536
+
+let create ?(stride = default_stride) () =
+  if not (is_pow2 stride) then
+    invalid_arg "Corpus.Shard.create: stride must be a power of two";
+  { stride; bits = log2 stride; arenas = [||]; count = 0 }
+
+let stride t = t.stride
+let count t = t.count
+let shard_count t = Array.length t.arenas
+let shard_of_id t id = id lsr t.bits
+let local_of_id t id = id land (t.stride - 1)
+
+let fresh_arena t =
+  let values = Stdlib.min t.stride 4096 in
+  Arena.create ~values ~limbs:(values * 4) ()
+
+let append t n =
+  let s = t.count lsr t.bits in
+  if s = Array.length t.arenas then
+    t.arenas <- Array.append t.arenas [| fresh_arena t |];
+  let local = Arena.append t.arenas.(s) n in
+  if local <> local_of_id t t.count then
+    invalid_arg "Corpus.Shard.append: shard fill invariant broken";
+  t.count <- t.count + 1;
+  t.count - 1
+
+let check t id name =
+  if id < 0 || id >= t.count then invalid_arg name
+
+let get t id =
+  check t id "Corpus.Shard.get: id out of range";
+  Arena.get t.arenas.(shard_of_id t id) (local_of_id t id)
+
+let matches t id limbs =
+  check t id "Corpus.Shard.matches: id out of range";
+  Arena.matches t.arenas.(shard_of_id t id) (local_of_id t id) limbs
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id (get t id)
+  done
+
+let shard_file dir s = Filename.concat dir (Printf.sprintf "shard-%04d.arena" s)
+let meta_file dir = Filename.concat dir "meta"
+
+let save t dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Array.iteri (fun s arena -> Arena.save arena (shard_file dir s)) t.arenas;
+  let tmp = meta_file dir ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Io.write_string oc magic;
+      Io.write_int oc t.stride;
+      Io.write_int oc t.count);
+  Sys.rename tmp (meta_file dir)
+
+let load dir =
+  let ic = open_in_bin (meta_file dir) in
+  let stride, count =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        if Io.read_string ic <> magic then
+          raise (Io.Corrupt "not a shard directory");
+        let stride = Io.read_int ic in
+        if not (is_pow2 stride) then
+          raise (Io.Corrupt "shard stride is not a power of two");
+        (stride, Io.read_int ic))
+  in
+  let nshards = (count + stride - 1) / stride in
+  let arenas =
+    Array.init nshards (fun s ->
+        let a = Arena.load (shard_file dir s) in
+        let want =
+          if s = nshards - 1 then count - (s * stride) else stride
+        in
+        if Arena.count a <> want then
+          raise (Io.Corrupt "shard size disagrees with meta");
+        a)
+  in
+  { stride; bits = log2 stride; arenas; count }

@@ -1,0 +1,35 @@
+(** Id-range sharding over {!Arena} limb heaps.
+
+    Global ids are dense insertion-order integers; with a power-of-two
+    [stride], id [g] lives at local slot [g land (stride-1)] of shard
+    [g lsr log2 stride].  Shards fill sequentially, so only the tail
+    shard is ever partially full. *)
+
+type t
+
+val create : ?stride:int -> unit -> t
+(** [stride] (default 65536) must be a power of two; it is the
+    capacity of every shard but the last. *)
+
+val stride : t -> int
+val count : t -> int
+val shard_count : t -> int
+
+val shard_of_id : t -> int -> int
+val local_of_id : t -> int -> int
+
+val append : t -> Bignum.Nat.t -> int
+(** Store a value in the tail shard (opening a new one when full);
+    returns its dense global id. *)
+
+val get : t -> int -> Bignum.Nat.t
+val matches : t -> int -> int array -> bool
+val iter : (int -> Bignum.Nat.t -> unit) -> t -> unit
+
+val save : t -> string -> unit
+(** Write [dir/meta] plus one [dir/shard-NNNN.arena] per shard.
+    Arenas still mapped from their own files are skipped. *)
+
+val load : string -> t
+(** Map every shard arena read-only: O(shard count), not O(values).
+    Raises {!Io.Corrupt} on bad meta or shard-size disagreement. *)

@@ -1,52 +1,106 @@
 module N = Bignum.Nat
 
-module H = Hashtbl.Make (struct
-  type t = N.t
-
-  let equal = N.equal
-  let hash = N.hash
-end)
-
+(* Values live unboxed in sharded limb arenas ({!Shard}); the store
+   keeps only an open-addressing intern index over them.  Buckets hold
+   [id + 1] (0 = empty) and probe linearly; per-id hashes are memoized
+   so resizes and probe rejections never materialise a Nat.  A store
+   restored from disk starts with an empty index ([buckets = [||]])
+   and builds it on the first [find]/[intern] — pure id-based reads
+   ([get]/[iter]/[to_array]) never pay for it. *)
 type t = {
-  ids : int H.t;
-  mutable values : N.t array; (* dense id -> value; slots >= count unused *)
-  mutable count : int;
+  shard : Shard.t;
+  mutable buckets : int array; (* id + 1; 0 = empty; [||] = not built *)
+  mutable hashes : int array; (* per-id N.hash, valid for ids < count *)
 }
 
-let create ?(size = 64) () =
-  { ids = H.create size; values = Array.make (Stdlib.max size 1) N.zero; count = 0 }
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
 
-let size t = t.count
+let create ?(size = 64) ?stride () =
+  {
+    shard = Shard.create ?stride ();
+    buckets = Array.make (pow2_at_least (2 * (size + 1)) 16) 0;
+    hashes = Array.make (Stdlib.max size 16) 0;
+  }
 
-let grow t =
-  let cap = Array.length t.values in
-  if t.count = cap then begin
-    let values = Array.make (2 * cap) N.zero in
-    Array.blit t.values 0 values 0 cap;
-    t.values <- values
+let size t = Shard.count t.shard
+let stride t = Shard.stride t.shard
+let shard_count t = Shard.shard_count t.shard
+
+let set_hash t id h =
+  let cap = Array.length t.hashes in
+  if id >= cap then begin
+    let hashes = Array.make (Stdlib.max (2 * cap) (id + 1)) 0 in
+    Array.blit t.hashes 0 hashes 0 cap;
+    t.hashes <- hashes
+  end;
+  t.hashes.(id) <- h
+
+(* Insert an id already known absent; buckets must have a free slot. *)
+let insert_bucket t h id =
+  let mask = Array.length t.buckets - 1 in
+  let rec probe j =
+    if t.buckets.(j) = 0 then t.buckets.(j) <- id + 1
+    else probe ((j + 1) land mask)
+  in
+  probe (h land mask)
+
+let rebuild t cap =
+  t.buckets <- Array.make cap 0;
+  for id = 0 to size t - 1 do
+    insert_bucket t t.hashes.(id) id
+  done
+
+let ensure_index t =
+  if Array.length t.buckets = 0 then begin
+    (* First lookup after a load: hash every stored value once.  Each
+       Nat is materialised transiently; only the int hash is kept. *)
+    let n = size t in
+    for id = 0 to n - 1 do
+      set_hash t id (N.hash (Shard.get t.shard id))
+    done;
+    rebuild t (pow2_at_least (2 * (n + 1)) 16)
   end
 
+let lookup t h limbs =
+  let mask = Array.length t.buckets - 1 in
+  let rec probe j =
+    match t.buckets.(j) with
+    | 0 -> None
+    | slot ->
+        let id = slot - 1 in
+        if t.hashes.(id) = h && Shard.matches t.shard id limbs then Some id
+        else probe ((j + 1) land mask)
+  in
+  probe (h land mask)
+
+let find t n =
+  ensure_index t;
+  lookup t (N.hash n) (N.to_limbs n)
+
+let mem t n = find t n <> None
+
 let intern t n =
-  match H.find_opt t.ids n with
+  ensure_index t;
+  let h = N.hash n in
+  let limbs = N.to_limbs n in
+  match lookup t h limbs with
   | Some id -> id
   | None ->
-      let id = t.count in
-      grow t;
-      t.values.(id) <- n;
-      t.count <- id + 1;
-      H.add t.ids n id;
+      if 2 * (size t + 1) >= Array.length t.buckets then
+        rebuild t (2 * Array.length t.buckets);
+      let id = Shard.append t.shard n in
+      set_hash t id h;
+      insert_bucket t h id;
       id
 
-let find t n = H.find_opt t.ids n
-let mem t n = H.mem t.ids n
-
 let get t id =
-  if id < 0 || id >= t.count then invalid_arg "Corpus.Store.get: id out of range";
-  t.values.(id)
+  if id < 0 || id >= size t then
+    invalid_arg "Corpus.Store.get: id out of range";
+  Shard.get t.shard id
 
-let to_array t = Array.sub t.values 0 t.count
+let to_array t = Array.init (size t) (fun id -> Shard.get t.shard id)
+let iter f t = Shard.iter f t.shard
+let save t dir = Shard.save t.shard dir
 
-let iter f t =
-  for id = 0 to t.count - 1 do
-    f id t.values.(id)
-  done
+let load dir =
+  { shard = Shard.load dir; buckets = [||]; hashes = [||] }

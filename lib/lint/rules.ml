@@ -434,6 +434,41 @@ let fingerprint_outside_registry ctx =
       ctx
 
 (* ------------------------------------------------------------------ *)
+(* Rule 14: per-modulus limb vectors stay in the arena                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A collection of limb vectors ([int array array], [int array list])
+   boxes every modulus as its own heap block with its own header and
+   GC lifetime. Bulk limb storage belongs to the contiguous Bigarray
+   arena (lib/corpus/arena.ml), and lib/bignum owns the scalar
+   representation (its kernels allocate such shapes as scratch).
+   Anywhere else, the shape is per-modulus boxing creeping back in. *)
+let boxed_limb_array ctx =
+  if in_dir "lib/bignum" ctx.path || ctx.path = "lib/corpus/arena.ml" then []
+  else begin
+    let toks = Array.of_list (code ctx) in
+    let n = Array.length toks in
+    let ident i =
+      if i < 0 || i >= n then None
+      else match toks.(i).Lexer.kind with Lexer.Ident s -> Some s | _ -> None
+    in
+    let out = ref [] in
+    for i = 0 to n - 3 do
+      if ident i = Some "int" && ident (i + 1) = Some "array" then
+        match ident (i + 2) with
+        | Some (("array" | "list") as outer) ->
+          out :=
+            { line = toks.(i).Lexer.line;
+              message =
+                Printf.sprintf
+                  "boxed per-modulus limb storage `int array %s`" outer }
+            :: !out
+        | _ -> ()
+    done;
+    List.rev !out
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Catalogue                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -523,6 +558,16 @@ let all =
         "intern the value with Corpus.Store and key on the dense int id \
          (int-keyed Hashtbl, array or Corpus.Id_set)";
       check = limbs_keyed_hashtbl };
+    { id = "boxed-limb-array";
+      severity = Warning;
+      doc =
+        "`int array array` / `int array list` box every modulus's limbs \
+         as a separate heap block; bulk limb storage lives in the \
+         contiguous corpus arena";
+      hint =
+        "store limbs through Corpus.Arena / Corpus.Store and address \
+         them by dense id (or keep the shape inside lib/bignum's kernels)";
+      check = boxed_limb_array };
     { id = "fingerprint-outside-registry";
       severity = Warning;
       doc =

@@ -447,6 +447,149 @@ let test_incremental_load_rejects_garbage () =
                false
              with Corpus.Io.Corrupt _ -> true)))
 
+(* ---------------- Sharded batch GCD ---------------- *)
+
+module Sh = Batchgcd.Sharded
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "weakkeys-shard" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun name -> Sys.remove (Filename.concat dir name))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* The two-tier sharded sweep must reproduce the single-tree findings
+   exactly — same indexes, same divisors — for corpora that span
+   several shards, across seeds and shard geometries. *)
+let test_sharded_matches_flat () =
+  List.iter
+    (fun seed ->
+      let moduli, _ = corpus ~seed ~n_clean:10 ~n_shared:5 () in
+      let full = BG.factor_batch moduli in
+      List.iter
+        (fun stride ->
+          let t = Sh.create ~stride moduli in
+          Alcotest.(check int)
+            (Printf.sprintf "shard count (seed %d stride %d)" seed stride)
+            ((Array.length moduli + stride - 1) / stride)
+            (Sh.shard_count t);
+          Alcotest.(check bool)
+            (Printf.sprintf "sharded = flat (seed %d stride %d)" seed stride)
+            true
+            (BG.findings_equal full (Sh.findings t));
+          Alcotest.(check bool) "corpus preserved in id order" true
+            (Array.for_all2 N.equal moduli (Sh.corpus t));
+          Array.iteri
+            (fun i m ->
+              Alcotest.(check (option int)) "find returns global id" (Some i)
+                (Sh.find t m))
+            moduli)
+        [ 4; 8 ])
+    [ 11; 23; 37 ]
+
+let test_sharded_rejects () =
+  Alcotest.check_raises "stride must be a power of two"
+    (Invalid_argument "Batchgcd.Sharded.create: stride must be a power of two")
+    (fun () -> ignore (Sh.create ~stride:6 [| N.of_int 15 |]))
+
+(* Extend across a shard boundary: the delta first tops up the tail
+   shard, then opens fresh shards. Findings must equal a from-scratch
+   sweep over the union, in global index order. *)
+let test_sharded_extend_boundary () =
+  let moduli, _ = corpus ~seed:59 ~n_clean:9 ~n_shared:4 () in
+  let t = Sh.create ~stride:4 (Array.sub moduli 0 6) in
+  Alcotest.(check int) "two shards before extend" 2 (Sh.shard_count t);
+  (* 6 + 7 = 13 crosses two boundaries: top up to 8, fill 8..12 *)
+  let t = Sh.extend t (Array.sub moduli 6 7) in
+  Alcotest.(check int) "four shards after extend" 4 (Sh.shard_count t);
+  Alcotest.(check int) "corpus size" 13 (Sh.corpus_size t);
+  Alcotest.(check bool) "corpus preserved in order" true
+    (Array.for_all2 N.equal moduli (Sh.corpus t));
+  Alcotest.(check bool) "extend = from-scratch over union" true
+    (BG.findings_equal (BG.factor_batch moduli) (Sh.findings t));
+  Alcotest.(check bool) "empty delta is identity" true
+    (BG.findings_equal (Sh.findings t) (Sh.findings (Sh.extend t [||])))
+
+(* Directory checkpoint: save_dir + load_dir must be O(shard count) —
+   the arenas are mapped and no forest is resident — yet findings are
+   immediately queryable, and extending the restored state must match
+   extending the live one. *)
+let test_sharded_save_load_dir () =
+  let moduli, extra_seed = (fst (corpus ~seed:61 ~n_clean:10 ~n_shared:4 ()), 67) in
+  let live = Sh.create ~stride:4 moduli in
+  with_temp_dir (fun dir ->
+      Sh.save_dir live dir;
+      let restored = Sh.load_dir dir in
+      Alcotest.(check int) "no forest resident after load_dir" 0
+        (Sh.loaded_shards restored);
+      Alcotest.(check int) "size round-trips" (Sh.corpus_size live)
+        (Sh.corpus_size restored);
+      Alcotest.(check int) "stride round-trips" (Sh.stride live)
+        (Sh.stride restored);
+      Alcotest.(check bool) "findings queryable without forests" true
+        (BG.findings_equal (Sh.findings live) (Sh.findings restored));
+      Array.iteri
+        (fun i m ->
+          Alcotest.(check (option int)) "mapped find" (Some i)
+            (Sh.find restored m))
+        moduli;
+      (* extending forces the lazy forest loads; results must match the
+         never-checkpointed state exactly *)
+      let delta, _ = corpus ~seed:extra_seed ~n_clean:3 ~n_shared:2 () in
+      let live' = Sh.extend live delta in
+      let restored' = Sh.extend restored delta in
+      Alcotest.(check bool) "extend after load_dir = extend live" true
+        (BG.findings_equal (Sh.findings live') (Sh.findings restored'));
+      Alcotest.(check int) "segments agree" (Sh.segment_count live')
+        (Sh.segment_count restored'))
+
+(* ---------------- Io header hardening ---------------- *)
+
+(* A length prefix larger than the bytes actually remaining must be
+   rejected with Corrupt *before* any allocation of that size — a
+   fuzzed 4-byte header must never turn into a multi-gigabyte
+   really_input buffer or an Out_of_memory. *)
+let test_io_rejects_oversized_length () =
+  let check_header ?(payload = "") name header =
+    with_temp_checkpoint (fun path ->
+        let oc = open_out_bin path in
+        output_string oc header;
+        output_string oc payload;
+        close_out oc;
+        let ic = open_in_bin path in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            Alcotest.(check bool) name true
+              (try
+                 ignore (Corpus.Io.read_string ic);
+                 false
+               with Corpus.Io.Corrupt _ -> true)))
+  in
+  (* near-max positive 32-bit length, 4 bytes of payload *)
+  check_header ~payload:"junk" "huge prefix" "\x7f\xff\xff\x00";
+  (* length one past the remaining bytes *)
+  check_header ~payload:"abc" "off-by-one prefix" "\x00\x00\x00\x04";
+  (* sign bit set reads back negative *)
+  check_header "negative prefix" "\xff\xff\xff\xfe";
+  (* fuzz: random headers always claiming more than remains *)
+  let st = Random.State.make [| 71 |] in
+  for i = 1 to 50 do
+    let remaining = Random.State.int st 8 in
+    let len = remaining + 1 + Random.State.int st 0x3FFFFFFF in
+    let header =
+      String.init 4 (fun b -> Char.chr ((len lsr (8 * (3 - b))) land 0xff))
+    in
+    check_header
+      ~payload:(String.make remaining 'x')
+      (Printf.sprintf "fuzzed prefix %d" i)
+      header
+  done
+
 (* ---------------- Properties ---------------- *)
 
 let prop_implementations_agree =
@@ -513,6 +656,15 @@ let tests =
     Alcotest.test_case "incremental save/load" `Quick test_incremental_save_load;
     Alcotest.test_case "incremental load rejects garbage" `Quick
       test_incremental_load_rejects_garbage;
+    Alcotest.test_case "sharded = flat findings" `Quick
+      test_sharded_matches_flat;
+    Alcotest.test_case "sharded rejects bad stride" `Quick test_sharded_rejects;
+    Alcotest.test_case "sharded extend across boundary" `Quick
+      test_sharded_extend_boundary;
+    Alcotest.test_case "sharded save_dir/load_dir" `Quick
+      test_sharded_save_load_dir;
+    Alcotest.test_case "io rejects oversized length" `Quick
+      test_io_rejects_oversized_length;
     prop_implementations_agree;
     prop_divisor_divides;
   ]

@@ -23,7 +23,7 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "thirteen lexical rules" 13 (List.length R.all);
+  Alcotest.(check int) "fourteen lexical rules" 14 (List.length R.all);
   Alcotest.(check int) "four deep analyses" 4 (List.length R.deep);
   let ids = List.map (fun (r : R.t) -> r.R.id) (R.all @ R.deep) in
   Alcotest.(check int) "ids unique"
@@ -190,6 +190,25 @@ let test_limbs_keyed_hashtbl () =
   check_clean "to_limbs without a table" "limbs-keyed-hashtbl" ~path
     "let limbs = N.to_limbs m in Array.length limbs"
 
+let test_boxed_limb_array () =
+  let rule = "boxed-limb-array" in
+  let path = "lib/batchgcd/incremental.ml" in
+  check_flagged "matrix of limb vectors" rule ~path
+    "let segs : int array array = collect t";
+  check_flagged "list of limb vectors" rule ~path
+    "type t = { pending : int array list }";
+  check_flagged "binaries are in scope" rule ~path:"bin/weakkeys_cli.ml"
+    "let batches : int array array = load path";
+  check_clean "bignum kernels are exempt" rule ~path:"lib/bignum/toom.ml"
+    "let scratch : int array array = Array.make k [||]";
+  check_clean "the arena owns bulk storage" rule ~path:"lib/corpus/arena.ml"
+    "let pending : int array list = queued t";
+  check_clean "plain limb vector" rule ~path
+    "let limbs : int array = N.to_limbs m";
+  check_clean "hashtbl key type is the other rule" rule ~path
+    "let tbl : (int array, int) Hashtbl.t = Hashtbl.create 7";
+  check_clean "inside a comment" rule ~path "(* int array array *) let x = 1"
+
 let test_fingerprint_outside_registry () =
   let rule = "fingerprint-outside-registry" in
   let path = "lib/core/report.ml" in
@@ -250,11 +269,17 @@ let check_deep_clean name rule path units =
 
 let test_layering () =
   let corpus = ("lib/corpus/store.ml", "let create () = 1") in
-  (* bignum sits below corpus: referencing it is an upward edge *)
+  (* corpus-arena is the bottom layer: its only sanctioned edge is the
+     allow-listed one to bignum, so reaching the pool is upward *)
   check_deep_flagged "synthetic upward edge" "layer-violation"
-    "lib/bignum/nat_extra.ml"
-    [ corpus; ("lib/bignum/nat_extra.ml", "let x = Corpus.Store.create ()") ];
+    "lib/corpus/uses_pool.ml"
+    [ ("lib/parallel/pool.ml", "let go f = f ()");
+      ("lib/corpus/uses_pool.ml", "let x = Parallel.Pool.go (fun () -> 1)") ];
   check_deep_clean "downward edge is legal" "layer-violation"
+    "lib/batchgcd/uses.ml"
+    [ corpus; ("lib/batchgcd/uses.ml", "let y = Corpus.Store.create ()") ];
+  (* the committed allow-list covers the corpus -> bignum storage edge *)
+  check_deep_clean "corpus -> bignum allow-listed" "layer-violation"
     "lib/corpus/uses.ml"
     [ ("lib/bignum/nat_extra.ml", "let x = 1");
       ("lib/corpus/uses.ml", "let y = Bignum.Nat_extra.x") ];
@@ -529,6 +554,7 @@ let tests =
       test_domain_outside_parallel;
     Alcotest.test_case "todo-issue-tag" `Quick test_todo_issue_tag;
     Alcotest.test_case "limbs-keyed-hashtbl" `Quick test_limbs_keyed_hashtbl;
+    Alcotest.test_case "boxed-limb-array" `Quick test_boxed_limb_array;
     Alcotest.test_case "fingerprint-outside-registry" `Quick
       test_fingerprint_outside_registry;
     Alcotest.test_case "suppressions" `Quick test_suppressions;

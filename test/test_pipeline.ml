@@ -292,8 +292,8 @@ let test_extend_matches_full () =
   let p0 = P.of_scans world early in
   let pe = P.extend p0 late in
   Alcotest.(check int) "one delta segment added"
-    (Batchgcd.Incremental.segment_count p0.P.inc + 1)
-    (Batchgcd.Incremental.segment_count pe.P.inc);
+    (P.gcd_segment_count p0.P.gcd + 1)
+    (P.gcd_segment_count pe.P.gcd);
   Alcotest.(check int) "corpus grew" (Array.length pe.P.corpus)
     (Corpus.Store.size pe.P.store);
   Alcotest.(check bool) "extend = from-scratch over union" true
@@ -362,6 +362,67 @@ let test_checkpoint_resume () =
         (Weakkeys.Report.bit_error_section p1)
         (Weakkeys.Report.bit_error_section p2))
 
+(* Sharded GCD is an internal representation choice: running the
+   pipeline with ?shards must leave every downstream artifact —
+   findings, the merged evidence table, the rendered tables — exactly
+   equal to the flat run, across scan subsets ("seeds") and shard
+   counts, including through extend. *)
+let test_sharded_pipeline_equal () =
+  let world = Lazy.force Worlds.small in
+  let scans = Lazy.force Worlds.small_scans in
+  List.iter
+    (fun (modulo, phase) ->
+      let subset = List.filteri (fun i _ -> i mod modulo = phase) scans in
+      let flat = P.of_scans world subset in
+      List.iter
+        (fun shards ->
+          let sh = P.of_scans ~shards world subset in
+          (match sh.P.gcd with
+          | P.Sharded t ->
+            Alcotest.(check bool)
+              (Printf.sprintf "shards bounded (mod %d, %d shards)" modulo
+                 shards)
+              true
+              (Batchgcd.Sharded.shard_count t <= shards)
+          | P.Flat _ -> Alcotest.fail "expected a sharded gcd state");
+          Alcotest.(check bool)
+            (Printf.sprintf "findings equal (mod %d, %d shards)" modulo shards)
+            true
+            (Batchgcd.Batch_gcd.findings_equal flat.P.findings sh.P.findings);
+          Alcotest.(check bool)
+            (Printf.sprintf "attributions equal (mod %d, %d shards)" modulo
+               shards)
+            true
+            (Fingerprint.Attribution.equal_evidence flat.P.attribution
+               sh.P.attribution);
+          Alcotest.(check string) "table1 identical"
+            (Weakkeys.Report.table1 flat)
+            (Weakkeys.Report.table1 sh))
+        [ 2; 8 ])
+    [ (5, 0); (5, 1); (5, 2) ]
+
+(* extend on a sharded pipeline continues in sharded mode and still
+   matches the flat pipeline extended with the same snapshot. *)
+let test_sharded_extend_matches_flat () =
+  let world = Lazy.force Worlds.small in
+  let scans = Lazy.force Worlds.small_scans in
+  let cutoff = X509lite.Date.of_ymd 2014 1 1 in
+  let early, late =
+    List.partition
+      (fun (s : Sc.scan) -> X509lite.Date.(s.Sc.scan_date < cutoff))
+      scans
+  in
+  let flat = P.extend (P.of_scans world early) late in
+  let sh = P.extend (P.of_scans ~shards:4 world early) late in
+  (match sh.P.gcd with
+  | P.Sharded _ -> ()
+  | P.Flat _ -> Alcotest.fail "extend left sharded mode");
+  Alcotest.(check bool) "findings equal after extend" true
+    (Batchgcd.Batch_gcd.findings_equal flat.P.findings sh.P.findings);
+  Alcotest.(check bool) "attributions equal after extend" true
+    (Fingerprint.Attribution.equal_evidence flat.P.attribution
+       sh.P.attribution)
+
 let tests =
   [
     Alcotest.test_case "majority vendor tie-break" `Quick
@@ -382,4 +443,8 @@ let tests =
     Alcotest.test_case "table5 styles" `Slow test_table5_ground_truth_styles;
     Alcotest.test_case "extend = full recompute" `Slow test_extend_matches_full;
     Alcotest.test_case "checkpoint resume" `Slow test_checkpoint_resume;
+    Alcotest.test_case "sharded pipeline = flat" `Slow
+      test_sharded_pipeline_equal;
+    Alcotest.test_case "sharded extend = flat extend" `Slow
+      test_sharded_extend_matches_flat;
   ]
