@@ -58,37 +58,45 @@ let msg_1k = String.init 1024 (fun i -> Char.chr (i land 0xff))
 
 (* Pin the kernel dispatch ladder for one timed closure; every knob
    not passed keeps its current (possibly env-overridden) value. *)
-let with_kernels ?kara ?toom ?bz ?recip ?barrett ?par f =
+let with_kernels ?kara ?toom ?ntt ?bz ?recip ?barrett ?par ?hgcd f =
   let k0 = !N.karatsuba_threshold
   and t0 = !N.toom3_threshold
+  and n0 = !N.ntt_threshold
   and b0 = !N.burnikel_ziegler_threshold
   and r0 = !N.recip_threshold
   and ba0 = !N.barrett_threshold
-  and p0 = !N.parallel_mul_threshold in
+  and p0 = !N.parallel_mul_threshold
+  and h0 = !N.hgcd_threshold in
   let set r v = Option.iter (fun v -> r := v) v in
   set N.karatsuba_threshold kara;
   set N.toom3_threshold toom;
+  set N.ntt_threshold ntt;
   set N.burnikel_ziegler_threshold bz;
   set N.recip_threshold recip;
   set N.barrett_threshold barrett;
   set N.parallel_mul_threshold par;
+  set N.hgcd_threshold hgcd;
   Fun.protect
     ~finally:(fun () ->
       N.karatsuba_threshold := k0;
       N.toom3_threshold := t0;
+      N.ntt_threshold := n0;
       N.burnikel_ziegler_threshold := b0;
       N.recip_threshold := r0;
       N.barrett_threshold := ba0;
-      N.parallel_mul_threshold := p0)
+      N.parallel_mul_threshold := p0;
+      N.hgcd_threshold := h0)
     f
 
 let with_thresholds km bz f = with_kernels ~kara:km ~bz f
 
 (* The PR 2 kernel configuration: Karatsuba + Burnikel-Ziegler only,
-   no Toom-3, no in-multiply fan-out, no Barrett reciprocals. Used for
-   old-vs-new ablations and the findings_equal cross-check. *)
+   no Toom-3, no NTT, no Lehmer GCD, no in-multiply fan-out, no
+   Barrett reciprocals. Used for old-vs-new ablations and the
+   findings_equal cross-check. *)
 let with_pr2_kernels f =
-  with_kernels ~kara:24 ~toom:max_int ~bz:40 ~barrett:max_int ~par:max_int f
+  with_kernels ~kara:24 ~toom:max_int ~ntt:max_int ~bz:40 ~barrett:max_int
+    ~par:max_int ~hgcd:max_int f
 
 (* ---------------- timing tests ---------------- *)
 
@@ -128,32 +136,68 @@ let ablation_multiplication =
   Test.make_grouped ~name:"ablation-mul-threshold"
     [
       t "karatsuba-200kbit" (fun () ->
-          with_kernels ~kara:24 ~toom:max_int ~par:max_int (fun () ->
-              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+          with_kernels ~kara:24 ~toom:max_int ~ntt:max_int ~par:max_int
+            (fun () -> N.mul (Lazy.force big_a) (Lazy.force big_b)));
       t "schoolbook-200kbit" (fun () ->
-          with_kernels ~kara:max_int ~toom:max_int ~par:max_int (fun () ->
-              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+          with_kernels ~kara:max_int ~toom:max_int ~ntt:max_int ~par:max_int
+            (fun () -> N.mul (Lazy.force big_a) (Lazy.force big_b)));
     ]
 
 (* The PR 3 kernel tier: Toom-3 vs Karatsuba at 200k bits (~6.5k
-   limbs), serial and with the in-multiply pool fan-out. *)
+   limbs), serial and with the in-multiply pool fan-out. The NTT rung
+   is pinned off so the rows keep measuring what their names say. *)
 let toom3_group =
   Test.make_grouped ~name:"toom3"
     [
       t "mul-200kbit-karatsuba" (fun () ->
-          with_kernels ~toom:max_int ~par:max_int (fun () ->
+          with_kernels ~toom:max_int ~ntt:max_int ~par:max_int (fun () ->
               N.mul (Lazy.force big_a) (Lazy.force big_b)));
       t "mul-200kbit-toom3-seq" (fun () ->
-          with_kernels ~par:max_int (fun () ->
+          with_kernels ~ntt:max_int ~par:max_int (fun () ->
               N.mul (Lazy.force big_a) (Lazy.force big_b)));
       t "mul-200kbit-toom3-par" (fun () ->
-          N.mul (Lazy.force big_a) (Lazy.force big_b));
+          with_kernels ~ntt:max_int (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
       t "sqr-200kbit-karatsuba" (fun () ->
-          with_kernels ~toom:max_int ~par:max_int (fun () ->
+          with_kernels ~toom:max_int ~ntt:max_int ~par:max_int (fun () ->
               N.sqr (Lazy.force big_a)));
       t "sqr-200kbit-toom3-seq" (fun () ->
+          with_kernels ~ntt:max_int ~par:max_int (fun () ->
+              N.sqr (Lazy.force big_a)));
+      t "sqr-200kbit-toom3-par" (fun () ->
+          with_kernels ~ntt:max_int (fun () -> N.sqr (Lazy.force big_a)));
+    ]
+
+(* The ISSUE 8 kernel tier: the two-prime CRT NTT vs Toom-3 at the
+   product-tree root scale. 200k bits is the root node of the tracked
+   2048 x 96-bit corpus; the 600k-bit rows show the gap widening with
+   size (the transform is quasi-linear, Toom-3 is O(n^1.465)). The
+   -par rows exercise the per-prime convolution fan-out. *)
+let huge_a = lazy (nat_of_bits 600_000)
+let huge_b = lazy (nat_of_bits 600_000)
+
+let ntt_group =
+  Test.make_grouped ~name:"ntt"
+    [
+      t "mul-200kbit-toom3" (fun () ->
+          with_kernels ~ntt:max_int ~par:max_int (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+      t "mul-200kbit-ntt" (fun () ->
+          with_kernels ~par:max_int (fun () ->
+              N.mul (Lazy.force big_a) (Lazy.force big_b)));
+      t "mul-200kbit-ntt-par" (fun () ->
+          N.mul (Lazy.force big_a) (Lazy.force big_b));
+      t "sqr-200kbit-toom3" (fun () ->
+          with_kernels ~ntt:max_int ~par:max_int (fun () ->
+              N.sqr (Lazy.force big_a)));
+      t "sqr-200kbit-ntt" (fun () ->
           with_kernels ~par:max_int (fun () -> N.sqr (Lazy.force big_a)));
-      t "sqr-200kbit-toom3-par" (fun () -> N.sqr (Lazy.force big_a));
+      t "mul-600kbit-toom3" (fun () ->
+          with_kernels ~ntt:max_int ~par:max_int (fun () ->
+              N.mul (Lazy.force huge_a) (Lazy.force huge_b)));
+      t "mul-600kbit-ntt" (fun () ->
+          with_kernels ~par:max_int (fun () ->
+              N.mul (Lazy.force huge_a) (Lazy.force huge_b)));
     ]
 
 (* Newton reciprocal vs computing the same floor(base^2n / b) by
@@ -204,12 +248,28 @@ let ablation_powmod =
             (Lazy.force modulus));
     ]
 
+(* Leaf-GCD kernel ladder at the 4-kbit operand size of a real
+   batch-GCD leaf step (2048-bit modulus vs rem-tree residue), plus a
+   16-kbit rung where the Lehmer advantage has saturated. The lehmer
+   rows go through the default N.gcd dispatch; binary/euclid call
+   their kernels directly, which is what those entry points stay
+   exported for. *)
+let gcd_a16 = lazy (nat_of_bits 16_384)
+let gcd_b16 = lazy (nat_of_bits 16_384)
+
 let ablation_gcd =
   Test.make_grouped ~name:"ablation-gcd"
     [
-      t "binary-4kbit" (fun () -> N.gcd (Lazy.force gcd_a) (Lazy.force gcd_b));
+      t "lehmer-4kbit" (fun () ->
+          N.gcd (Lazy.force gcd_a) (Lazy.force gcd_b));
+      t "binary-4kbit" (fun () ->
+          N.gcd_binary (Lazy.force gcd_a) (Lazy.force gcd_b));
       t "euclid-4kbit" (fun () ->
           N.gcd_euclid (Lazy.force gcd_a) (Lazy.force gcd_b));
+      t "lehmer-16kbit" (fun () ->
+          N.gcd (Lazy.force gcd_a16) (Lazy.force gcd_b16));
+      t "binary-16kbit" (fun () ->
+          N.gcd_binary (Lazy.force gcd_a16) (Lazy.force gcd_b16));
     ]
 
 let keygen_styles =
@@ -581,6 +641,10 @@ let force_fixtures () =
   ignore (Lazy.force div_den);
   ignore (Lazy.force gcd_a);
   ignore (Lazy.force gcd_b);
+  ignore (Lazy.force gcd_a16);
+  ignore (Lazy.force gcd_b16);
+  ignore (Lazy.force huge_a);
+  ignore (Lazy.force huge_b);
   ignore (Lazy.force tree_2048);
   ignore (Lazy.force attr_table);
   (* One throwaway extend fills the cached segments' Barrett
@@ -599,8 +663,8 @@ let run_timing () =
   let tests =
     [
       batchgcd_section_3_2; figure2_k_sweep; tree_parallel; delta_ingest;
-      sharded_group; ablation_multiplication; toom3_group; recip_group;
-      rem_precomp_group; ablation_division; ablation_powmod;
+      sharded_group; ablation_multiplication; toom3_group; ntt_group;
+      recip_group; rem_precomp_group; ablation_division; ablation_powmod;
       ablation_gcd; keygen_styles; substrate; attribution_group; lint_group;
     ]
   in
@@ -728,8 +792,13 @@ let emit_json ?million rows =
     (fun () ->
       let num ns = if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns in
       Printf.fprintf oc "{\n  \"schema\": \"weakkeys-bench/1\",\n";
+      (* Record the machine the numbers came from: on a 1-core host
+         the parallel speedups legitimately sit at 1.00, and diffs
+         against a wider box should not read that as a regression. *)
       Printf.fprintf oc "  \"domains\": %d,\n"
         (Parallel.Pool.size (Lazy.force pool_par));
+      Printf.fprintf oc "  \"host_cores\": %d,\n"
+        (Domain.recommended_domain_count ());
       Printf.fprintf oc "  \"corpus\": { \"moduli\": 2048, \"bits\": 96 },\n";
       Printf.fprintf oc "  \"findings_equal\": %b,\n" findings_ok;
       Printf.fprintf oc "  \"findings_equal_parallel\": %b,\n"

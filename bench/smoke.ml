@@ -101,23 +101,66 @@ let () =
      the full new dispatch ladder, on the identical corpus. *)
   let k0 = !N.karatsuba_threshold
   and t0 = !N.toom3_threshold
+  and n0 = !N.ntt_threshold
   and bz0 = !N.burnikel_ziegler_threshold
   and ba0 = !N.barrett_threshold
-  and p0 = !N.parallel_mul_threshold in
+  and p0 = !N.parallel_mul_threshold
+  and h0 = !N.hgcd_threshold in
   N.karatsuba_threshold := 24;
   N.toom3_threshold := max_int;
+  N.ntt_threshold := max_int;
   N.burnikel_ziegler_threshold := 40;
   N.barrett_threshold := max_int;
   N.parallel_mul_threshold := max_int;
+  N.hgcd_threshold := max_int;
   let fb_old, dt = timed (fun () -> BG.factor_batch ~pool:seq moduli) in
   N.karatsuba_threshold := k0;
   N.toom3_threshold := t0;
+  N.ntt_threshold := n0;
   N.burnikel_ziegler_threshold := bz0;
   N.barrett_threshold := ba0;
   N.parallel_mul_threshold := p0;
+  N.hgcd_threshold := h0;
   row "factor-batch-pr2-kernels" dt;
   check "old kernels findings = new kernels findings"
     (BG.findings_equal fb_s fb_old);
+
+  (* ISSUE 8 kernel probes: Lehmer vs binary GCD and NTT vs Toom-3 on
+     operands small enough for every runtest, with the thresholds
+     pinned so both sides of each pair genuinely run their kernel. A
+     divergence here fails tier-1 instead of waiting for the nightly
+     Bechamel ladder. *)
+  let bits n = N.random_bits gen n in
+  let ga = bits 4000 and gb = bits 4000 in
+  let shared = bits 120 in
+  let gsa = N.mul shared (bits 1900) and gsb = N.mul shared (bits 2500) in
+  let lehmer a b =
+    N.hgcd_threshold := 1;
+    Fun.protect ~finally:(fun () -> N.hgcd_threshold := h0) (fun () ->
+        N.gcd a b)
+  in
+  let gl, dt = timed (fun () -> lehmer ga gb) in
+  row "gcd-4kbit-lehmer" dt;
+  let gbin, dt = timed (fun () -> N.gcd_binary ga gb) in
+  row "gcd-4kbit-binary" dt;
+  check "lehmer gcd = binary gcd" (N.equal gl gbin);
+  check "lehmer recovers a planted shared factor"
+    (N.equal (N.rem (lehmer gsa gsb) shared) N.zero
+    && N.equal (lehmer gsa gsb) (N.gcd_binary gsa gsb));
+  let ma = bits 30_000 and mb = bits 30_000 in
+  let with_ntt v f =
+    N.ntt_threshold := v;
+    Fun.protect ~finally:(fun () -> N.ntt_threshold := n0) f
+  in
+  let p_toom, dt = timed (fun () -> with_ntt max_int (fun () -> N.mul ma mb)) in
+  row "mul-30kbit-toom3" dt;
+  let p_ntt, dt = timed (fun () -> with_ntt 8 (fun () -> N.mul ma mb)) in
+  row "mul-30kbit-ntt" dt;
+  check "ntt mul = toom3 mul" (N.equal p_toom p_ntt);
+  check "ntt sqr = toom3 sqr"
+    (N.equal
+       (with_ntt max_int (fun () -> N.sqr ma))
+       (with_ntt 8 (fun () -> N.sqr ma)));
 
   (* Incremental ingest: create over the first 64 moduli, extend with
      the remaining 32, findings must match the one-shot run; then a

@@ -63,6 +63,10 @@ let factor_batch ?pool ?domains moduli =
     let tree = Product_tree.build ~pool moduli in
     let p = Product_tree.root tree in
     let zs = Remainder_tree.remainders_mod_square ~pool tree p in
+    (* The leaf step the whole pipeline funnels into: one N.gcd per
+       modulus, at modulus-sized operands — N.gcd dispatches these to
+       the Lehmer kernel past WEAKKEYS_HGCD_THRESHOLD limbs (the
+       gcd-outside-nat lint keeps that dispatch unbypassed). *)
     let divisors =
       Array.init n (fun i ->
           N.gcd moduli.(i) (own_subset_component moduli.(i) zs.(i)))

@@ -18,9 +18,11 @@ let mask = base - 1
 let karatsuba_threshold = ref 24 (* lint: allow toplevel-ref *)
 let burnikel_ziegler_threshold = ref 40 (* lint: allow toplevel-ref *)
 let toom3_threshold = ref 96 (* lint: allow toplevel-ref *)
+let ntt_threshold = ref 2048 (* lint: allow toplevel-ref *)
 let recip_threshold = ref 64 (* lint: allow toplevel-ref *)
 let barrett_threshold = ref 48 (* lint: allow toplevel-ref *)
 let parallel_mul_threshold = ref 512 (* lint: allow toplevel-ref *)
+let hgcd_threshold = ref 8 (* lint: allow toplevel-ref *)
 
 (* Threshold sweeps (EXPERIMENTS.md) tune the dispatch ladder from the
    environment, mirroring WEAKKEYS_DOMAINS, so a bench run does not
@@ -40,10 +42,12 @@ let env_threshold name ~floor r =
 let () =
   env_threshold "WEAKKEYS_KARATSUBA_THRESHOLD" ~floor:2 karatsuba_threshold;
   env_threshold "WEAKKEYS_TOOM_THRESHOLD" ~floor:4 toom3_threshold;
+  env_threshold "WEAKKEYS_NTT_THRESHOLD" ~floor:1 ntt_threshold;
   env_threshold "WEAKKEYS_BZ_THRESHOLD" ~floor:2 burnikel_ziegler_threshold;
   env_threshold "WEAKKEYS_RECIP_THRESHOLD" ~floor:1 recip_threshold;
   env_threshold "WEAKKEYS_BARRETT_THRESHOLD" ~floor:2 barrett_threshold;
-  env_threshold "WEAKKEYS_PARMUL_THRESHOLD" ~floor:2 parallel_mul_threshold
+  env_threshold "WEAKKEYS_PARMUL_THRESHOLD" ~floor:2 parallel_mul_threshold;
+  env_threshold "WEAKKEYS_HGCD_THRESHOLD" ~floor:1 hgcd_threshold
 
 let zero : t = [||]
 let is_zero (a : t) = Array.length a = 0
@@ -366,12 +370,246 @@ let toom3_assemble ~lr ~k z0 c1 c2 c3 zinf =
   add_into r zinf (4 * k);
   norm r
 
+(* ------------------------------------------------------------------ *)
+(* Number-theoretic transform tier                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two-prime CRT NTT over native ints (DESIGN.md § Bignum kernels for
+   the full rationale). The operands are re-split from 31-bit limbs
+   into 15-bit pieces, convolved modulo two NTT-friendly primes just
+   under 2^31, and the true coefficients recovered by CRT: with pieces
+   below 2^15 and at most 2^26 of them, every coefficient is below
+   2^56 < p1*p2 ~ 2^61.7, and every intermediate product (piece*piece,
+   twiddle*value, p1*CRT-lift) stays under 2^62, inside the native
+   63-bit int — the same headroom argument the limb base rests on. *)
+let ntt_piece_bits = 15
+let ntt_piece_mask = (1 lsl ntt_piece_bits) - 1
+
+(* p1 = 27*2^26 + 1 < p2 = 15*2^27 + 1, both with 2-adicity >= 26, so
+   transforms up to 2^26 points (~1 Gbit products) are supported; the
+   ordering p1 < p2 keeps the CRT difference c2 - c1 within one
+   conditional add of [0, p2). The generators were verified against
+   the factorizations of p-1. *)
+let ntt_p1 = 1_811_939_329
+let ntt_g1 = 13
+let ntt_p2 = 2_013_265_921
+let ntt_g2 = 31
+let ntt_max_log = 26
+let ntt_p1_inv_p2 = 10 (* p1^-1 mod p2, for the CRT lift *)
+
+let pow_mod_int b e p =
+  let r = ref 1 and b = ref (b mod p) and e = ref e in
+  while !e > 0 do
+    if !e land 1 = 1 then r := !r * !b mod p;
+    b := !b * !b mod p;
+    e := !e asr 1
+  done;
+  !r
+
+(* Per-stage twiddle tables: stage s (butterfly half-width 2^s) uses
+   the canonical root of order 2^(s+1), w = g^((p-1)/2^(s+1)), with a
+   Shoup companion floor(w * 2^31 / p) per entry so the butterfly
+   multiply needs no division: q = (v*w') >> 31, r = v*w - q*p is in
+   [0, 2p). Tables are rebuilt per multiplication — the build is O(n)
+   against the transform's O(n log n), and owning the arrays locally
+   keeps the kernel free of shared mutable state, so concurrent
+   multiplies from pool workers need no locking and stay visible to
+   the pool-capture race lint as pure. *)
+let ntt_stage_tables p g ~inverse lg =
+  Array.init lg (fun s ->
+      let h = 1 lsl s in
+      let w0 = pow_mod_int g ((p - 1) / (2 * h)) p in
+      let w0 = if inverse then pow_mod_int w0 (p - 2) p else w0 in
+      let tw = Array.make h 1 and ts = Array.make h 0 in
+      let w = ref 1 in
+      for k = 0 to h - 1 do
+        tw.(k) <- !w;
+        ts.(k) <- (!w lsl limb_bits) / p;
+        w := !w * w0 mod p
+      done;
+      (tw, ts))
+
+let ntt_bitrev (a : int array) =
+  let n = Array.length a in
+  let j = ref 0 in
+  for i = 1 to n - 1 do
+    let bit = ref (n lsr 1) in
+    while !j land !bit <> 0 do
+      j := !j lxor !bit;
+      bit := !bit lsr 1
+    done;
+    j := !j lor !bit;
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end
+  done
+
+(* In-place iterative decimation-in-time transform. With the inverse
+   stage tables this computes n times the inverse transform; the
+   caller folds in n^-1 mod p. The butterfly loop is the single
+   hottest path of an NTT multiply (n/2 * log n iterations), so it
+   uses unsafe accesses: every index is base + k (+ h) with
+   base + 2h <= n by the loop bounds, and k < h = length of both
+   twiddle tables by construction. *)
+let ntt_pass p (stages : (int array * int array) array) (a : int array) =
+  let n = Array.length a in
+  ntt_bitrev a;
+  let s = ref 0 in
+  let h = ref 1 in
+  while !h < n do
+    let tw, ts = stages.(!s) in
+    let h' = !h in
+    let step = 2 * h' in
+    let base = ref 0 in
+    while !base < n do
+      let b = !base in
+      for k = 0 to h' - 1 do
+        let j0 = b + k in
+        let j1 = j0 + h' in
+        let u = Array.unsafe_get a j0 in
+        let v = Array.unsafe_get a j1 in
+        let q = (v * Array.unsafe_get ts k) lsr limb_bits in
+        let m = (v * Array.unsafe_get tw k) - (q * p) in
+        (* Branchless reductions: Shoup leaves m in [0, 2p); subtract
+           p and add it back under the sign mask (asr 62 is all-ones
+           exactly when negative). Data-dependent branches here
+           mispredict ~50% on transform-domain values, and the three
+           of them would dominate the butterfly. *)
+        let m = m - p in
+        let m = m + (p land (m asr 62)) in
+        let x = u + m - p in
+        Array.unsafe_set a j0 (x + (p land (x asr 62)));
+        let y = u - m in
+        Array.unsafe_set a j1 (y + (p land (y asr 62)))
+      done;
+      base := b + step
+    done;
+    incr s;
+    h := step
+  done
+
+(* Re-split the limb array into 15-bit pieces, zero-padded to the
+   transform length. *)
+let ntt_pieces (a : t) n =
+  let la = Array.length a in
+  let np = (num_bits a + ntt_piece_bits - 1) / ntt_piece_bits in
+  let r = Array.make n 0 in
+  for j = 0 to np - 1 do
+    let bit = j * ntt_piece_bits in
+    let limb = bit / limb_bits and off = bit mod limb_bits in
+    let lo = a.(limb) lsr off in
+    let hi =
+      if off > limb_bits - ntt_piece_bits && limb + 1 < la then
+        a.(limb + 1) lsl (limb_bits - off)
+      else 0
+    in
+    r.(j) <- (lo lor hi) land ntt_piece_mask
+  done;
+  r
+
+(* One prime's cyclic convolution of the piece vectors: forward
+   transforms, pointwise product (or square), inverse transform,
+   n^-1 scaling. Self-contained per prime, so the two primes run as
+   independent pool jobs on wide operands. *)
+let ntt_convolve p g n lg (a : t) (b : t option) : int array =
+  let fwd = ntt_stage_tables p g ~inverse:false lg in
+  let xa = ntt_pieces a n in
+  ntt_pass p fwd xa;
+  (match b with
+  | Some b ->
+    let xb = ntt_pieces b n in
+    ntt_pass p fwd xb;
+    for i = 0 to n - 1 do
+      xa.(i) <- xa.(i) * xb.(i) mod p
+    done
+  | None ->
+    for i = 0 to n - 1 do
+      xa.(i) <- xa.(i) * xa.(i) mod p
+    done);
+  ntt_pass p (ntt_stage_tables p g ~inverse:true lg) xa;
+  let ninv = pow_mod_int n (p - 2) p in
+  for i = 0 to n - 1 do
+    xa.(i) <- xa.(i) * ninv mod p
+  done;
+  xa
+
+(* Whether a product of [l] total limbs fits the supported transform
+   sizes: ceil(31*l / 15) + 2 pieces, capped at 2^26 by the primes'
+   2-adicity. Beyond it the dispatcher stays on Toom-3. *)
+let ntt_fits l = (l * limb_bits / ntt_piece_bits) + 2 <= 1 lsl ntt_max_log
+
+let mul_ntt_gen (a : t) (b : t option) : t =
+  let la = Array.length a in
+  let lb = match b with Some b -> Array.length b | None -> la in
+  let pa = (num_bits a + ntt_piece_bits - 1) / ntt_piece_bits in
+  let pb =
+    match b with
+    | Some b -> (num_bits b + ntt_piece_bits - 1) / ntt_piece_bits
+    | None -> pa
+  in
+  let need = pa + pb in
+  let lg = ref 0 in
+  while 1 lsl !lg < need do
+    incr lg
+  done;
+  let lg = !lg in
+  assert (lg <= ntt_max_log);
+  let n = 1 lsl lg in
+  let jobs =
+    [| (fun () -> ntt_convolve ntt_p1 ntt_g1 n lg a b);
+       (fun () -> ntt_convolve ntt_p2 ntt_g2 n lg a b) |]
+  in
+  let cs =
+    if Stdlib.min la lb >= !parallel_mul_threshold then
+      Parallel.Pool.map ~chunk:1 (fun f -> f ()) jobs
+    else Array.map (fun f -> f ()) jobs
+  in
+  let c1 = cs.(0) and c2 = cs.(1) in
+  (* CRT lift per coefficient, then carry-propagate the base-2^15
+     digit stream and re-pack it into 31-bit limbs. c < p1*p2 ~ 2^61.7
+     and carry <= c >> 15, so the running sum stays under 2^62. *)
+  let lr = la + lb in
+  let out = Array.make lr 0 in
+  let carry = ref 0 in
+  let acc = ref 0 and accbits = ref 0 and oi = ref 0 in
+  let push_digit d =
+    acc := !acc lor (d lsl !accbits);
+    accbits := !accbits + ntt_piece_bits;
+    if !accbits >= limb_bits then begin
+      if !oi < lr then out.(!oi) <- !acc land mask;
+      incr oi;
+      acc := !acc lsr limb_bits;
+      accbits := !accbits - limb_bits
+    end
+  in
+  for j = 0 to n - 1 do
+    let d = c2.(j) - c1.(j) in
+    let d = if d < 0 then d + ntt_p2 else d in
+    let c = c1.(j) + (ntt_p1 * (d * ntt_p1_inv_p2 mod ntt_p2)) in
+    let s = c + !carry in
+    push_digit (s land ntt_piece_mask);
+    carry := s asr ntt_piece_bits
+  done;
+  while !carry <> 0 do
+    push_digit (!carry land ntt_piece_mask);
+    carry := !carry asr ntt_piece_bits
+  done;
+  if !accbits > 0 && !oi < lr then out.(!oi) <- !acc land mask;
+  norm out
+
+let mul_ntt (a : t) (b : t) : t = mul_ntt_gen a (Some b)
+let sqr_ntt (a : t) : t = mul_ntt_gen a None
+
 let rec mul (a : t) (b : t) : t =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then zero
   else begin
     let lmin = Stdlib.min la lb and lmax = Stdlib.max la lb in
     if lmin < !karatsuba_threshold then mul_school a b
+    else if lmin >= !ntt_threshold && 2 * lmin > lmax && ntt_fits (la + lb)
+    then mul_ntt a b
     else if lmin >= !toom3_threshold && 2 * lmin > lmax then mul_toom3 a b
     else mul_karatsuba a b
   end
@@ -471,6 +709,7 @@ let rec sqr (a : t) : t =
   let la = Array.length a in
   if la = 0 then zero
   else if la < !karatsuba_threshold then sqr_school a
+  else if la >= !ntt_threshold && ntt_fits (2 * la) then sqr_ntt a
   else if la >= !toom3_threshold then sqr_toom3 a
   else sqr_karatsuba a
 
@@ -964,7 +1203,7 @@ let trailing_zeros (a : t) =
     let rec bit l c = if l land 1 = 1 then c else bit (l lsr 1) (c + 1) in
     (i * limb_bits) + bit a.(i) 0
 
-let gcd a b =
+let gcd_binary a b =
   if is_zero a then b
   else if is_zero b then a
   else begin
@@ -988,6 +1227,112 @@ let gcd a b =
       done;
       shift_left !a common
     end
+  end
+
+(* Lehmer's GCD with double-limb leading-digit simulation (HAC 14.57,
+   Knuth 4.5.2L). Each round extracts the top 62 bits of both operands
+   at a shared shift, runs single-precision extended Euclid on those
+   leading digits while the bracketing-quotient test certifies every
+   quotient is the true multiprecision one, and then applies the
+   accumulated 2x2 cofactor matrix to the full operands — replacing
+   dozens of O(n) binary-GCD passes with four mul_int and two sub.
+
+   The signed cofactors (A, B; C, D) of HAC are carried as magnitudes
+   (ua, ub; uc, ud) plus a step-parity flag: signs alternate in a
+   checkerboard, so A - qC etc. never cancel and the magnitude update
+   is ua + q*uc. The simulation stops when a quotient fails the
+   bracket test *or* a cofactor would exceed one limb: capping the
+   matrix at single-limb entries keeps every product inside the
+   native-int headroom (q*uc <= mask^2, matrix-apply via the mul_int
+   fast path) at ~30 bits of progress per round, which is why the
+   cofactor-matrix form needs no multiprecision scratch state, unlike
+   a recursive half-GCD. *)
+let gcd_lehmer a0 b0 =
+  let x = ref a0 and y = ref b0 in
+  (* Invariant: x >= y. *)
+  while Array.length !y > !hgcd_threshold do
+    if num_bits !x - num_bits !y > limb_bits then begin
+      (* Too unbalanced for the leading digits to share a window: one
+         full Euclidean step, as in the binary path. *)
+      let r = rem !x !y in
+      x := !y;
+      y := r
+    end
+    else begin
+      let s = Stdlib.max 0 (num_bits !x - (2 * limb_bits)) in
+      let xh = ref (to_int_exn (shift_right !x s))
+      and yh = ref (to_int_exn (shift_right !y s)) in
+      let ua = ref 1 and ub = ref 0 and uc = ref 0 and ud = ref 1 in
+      let even = ref true in
+      let steps = ref 0 in
+      let continue = ref true in
+      while !continue do
+        (* Bracketing quotients (x~+A)/(y~+C) and (x~+B)/(y~+D) with
+           signs resolved by parity. Non-positive denominators mean
+           the approximation window is exhausted; a negative numerator
+           can only produce a quotient below the true q >= 1, so plain
+           truncating division cannot fake an agreement. *)
+        let d1 = if !even then !yh - !uc else !yh + !uc
+        and d2 = if !even then !yh + !ud else !yh - !ud in
+        if d1 <= 0 || d2 <= 0 then continue := false
+        else begin
+          let n1 = if !even then !xh + !ua else !xh - !ua
+          and n2 = if !even then !xh - !ub else !xh + !ub in
+          let q = n1 / d1 in
+          if q <> n2 / d2 || q > mask then continue := false
+          else begin
+            let ta = !ua + (q * !uc) and tb = !ub + (q * !ud) in
+            if ta > mask || tb > mask then continue := false
+            else begin
+              ua := !uc;
+              uc := ta;
+              ub := !ud;
+              ud := tb;
+              let r = !xh - (q * !yh) in
+              xh := !yh;
+              yh := r;
+              even := not !even;
+              incr steps
+            end
+          end
+        end
+      done;
+      if !steps = 0 then begin
+        (* No single-precision progress possible (HAC's B = 0 case):
+           take one exact multiprecision division step instead. *)
+        let r = rem !x !y in
+        x := !y;
+        y := r
+      end
+      else begin
+        (* (x', y') = (|A*x + B*y|, |C*x + D*y|) — the true Euclidean
+           remainders r_{k-1}, r_k, so both subtractions are exact
+           over the naturals with the parity picking the order. *)
+        let pxa = mul_int !x !ua and pyb = mul_int !y !ub in
+        let pxc = mul_int !x !uc and pyd = mul_int !y !ud in
+        let x', y' =
+          if !even then (sub pxa pyb, sub pyd pxc)
+          else (sub pyb pxa, sub pxc pyd)
+        in
+        x := x';
+        y := y';
+        if compare !x !y < 0 then begin
+          let t = !x in
+          x := !y;
+          y := t
+        end
+      end
+    end
+  done;
+  gcd_binary !x !y
+
+let gcd a b =
+  if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let a, b = if compare a b >= 0 then (a, b) else (b, a) in
+    if Array.length b <= !hgcd_threshold then gcd_binary a b
+    else gcd_lehmer a b
   end
 
 (* ------------------------------------------------------------------ *)

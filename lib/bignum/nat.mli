@@ -90,10 +90,12 @@ val sub : t -> t -> t
 val sub_int : t -> int -> t
 
 val mul : t -> t -> t
-(** Schoolbook below [karatsuba_threshold] limbs, Karatsuba above, and
+(** Schoolbook below [karatsuba_threshold] limbs, Karatsuba above,
     Toom-Cook-3 once both operands reach [toom3_threshold] limbs and
-    are near-balanced. Past [parallel_mul_threshold] limbs the
-    independent sub-products of one recursion level fan out onto
+    are near-balanced, and a two-prime CRT number-theoretic transform
+    (quasi-linear) once they reach [ntt_threshold] limbs. Past
+    [parallel_mul_threshold] limbs the independent sub-products of one
+    recursion level (or the NTT's per-prime convolutions) fan out onto
     {!Parallel.Pool}; the pool's nesting guard keeps recursive and
     tree-level parallel calls inline, so this composes with
     [Product_tree]/[Remainder_tree] level parallelism deadlock-free. *)
@@ -104,9 +106,10 @@ val sqr : t -> t
 (** Dedicated squaring: schoolbook with the symmetric cross products
     computed once below [karatsuba_threshold] limbs, Karatsuba with
     three recursive squarings above, Toom-3 with five recursive
-    squarings above [toom3_threshold] — measurably cheaper than
-    [mul a a] on the remainder tree's mod-square descent. Parallelises
-    like {!mul}. *)
+    squarings above [toom3_threshold], and the NTT tier (one forward
+    transform per prime instead of two) above [ntt_threshold] —
+    measurably cheaper than [mul a a] on the remainder tree's
+    mod-square descent. Parallelises like {!mul}. *)
 
 val divmod : t -> t -> t * t
 (** [divmod a b = (q, r)] with [a = q*b + r] and [0 <= r < b].
@@ -162,7 +165,17 @@ val sqrt : t -> t
 (** {1 Number theory} *)
 
 val gcd : t -> t -> t
-(** Binary (Stein) GCD with a Euclidean first step for unbalanced sizes. *)
+(** Lehmer/half-GCD above [hgcd_threshold] limbs: single-precision
+    extended Euclid on the top 62 bits of both operands accumulates a
+    2x2 cofactor matrix that is applied to the full values once per
+    round, so each O(n) pass retires ~30 quotient bits instead of the
+    binary loop's one or two. At or below the threshold this is the
+    binary (Stein) GCD with a Euclidean first step for unbalanced
+    sizes. *)
+
+val gcd_binary : t -> t -> t
+(** The binary (Stein) GCD the dispatcher falls back to, exposed for
+    the ablation bench and cross-kernel equivalence tests. *)
 
 val gcd_euclid : t -> t -> t
 (** Pure Euclidean GCD, kept for the ablation bench. *)
@@ -192,8 +205,9 @@ val random_below : (int -> string) -> t -> t
     Kernel dispatch thresholds, in limbs. Each can be overridden at
     startup from the environment (EXPERIMENTS.md threshold-sweep
     recipe): [WEAKKEYS_KARATSUBA_THRESHOLD], [WEAKKEYS_TOOM_THRESHOLD],
-    [WEAKKEYS_BZ_THRESHOLD], [WEAKKEYS_RECIP_THRESHOLD],
-    [WEAKKEYS_BARRETT_THRESHOLD] and [WEAKKEYS_PARMUL_THRESHOLD];
+    [WEAKKEYS_NTT_THRESHOLD], [WEAKKEYS_BZ_THRESHOLD],
+    [WEAKKEYS_RECIP_THRESHOLD], [WEAKKEYS_BARRETT_THRESHOLD],
+    [WEAKKEYS_PARMUL_THRESHOLD] and [WEAKKEYS_HGCD_THRESHOLD];
     malformed or dangerously small values raise [Invalid_argument] at
     module initialisation, mirroring [WEAKKEYS_DOMAINS]. *)
 
@@ -203,6 +217,17 @@ val burnikel_ziegler_threshold : int ref
 val toom3_threshold : int ref
 (** Minimum limb count of the {e smaller} operand before [mul]/[sqr]
     switch from Karatsuba to Toom-3 (default 96). *)
+
+val ntt_threshold : int ref
+(** Minimum limb count of the {e smaller} operand before near-balanced
+    [mul]/[sqr] switch from Toom-3 to the two-prime CRT NTT (default
+    2048). Products too large for the primes' 2-adicity (~1 Gbit)
+    stay on Toom-3 regardless. *)
+
+val hgcd_threshold : int ref
+(** Maximum limb count of the smaller operand for which {!gcd} runs
+    the plain binary loop; above it the Lehmer leading-digit rounds
+    drive the reduction (default 8). *)
 
 val recip_threshold : int ref
 (** Divisor size (limbs) at or below which {!recip} just divides; also

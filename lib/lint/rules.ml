@@ -469,6 +469,59 @@ let boxed_limb_array ctx =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Rule 15: leaf GCDs go through the Nat.gcd dispatcher                *)
+(* ------------------------------------------------------------------ *)
+
+(* [Nat.gcd] picks binary vs Lehmer by operand size; calling
+   [gcd_binary]/[gcd_euclid]/[gcd_lehmer] directly — or hand-rolling a
+   [let rec gcd] loop — pins the caller to one kernel and silently
+   bypasses the WEAKKEYS_HGCD_THRESHOLD dispatch. The variants stay
+   exported precisely for the ablation bench and the cross-kernel
+   equivalence tests, so bench/ and test/ are exempt alongside
+   lib/bignum itself. *)
+let gcd_variants = [ "gcd_euclid"; "gcd_binary"; "gcd_lehmer" ]
+
+let gcd_outside_nat ctx =
+  if in_dir "lib/bignum" ctx.path || in_dir "bench" ctx.path
+     || in_dir "test" ctx.path
+  then []
+  else begin
+    let variant_calls =
+      flag_idents
+        (fun s ->
+          let s = strip_stdlib s in
+          let s =
+            match String.rindex_opt s '.' with
+            | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+            | None -> s
+          in
+          List.mem s gcd_variants)
+        (fun s ->
+          Printf.sprintf
+            "GCD kernel variant `%s` pinned outside lib/bignum" s)
+        ctx
+    in
+    (* A hand-rolled Euclid loop announces itself as [let rec gcd ...];
+       plain [let gcd = ...] aliases of the dispatcher stay legal. *)
+    let handrolled =
+      let rec run = function
+        | ({ Lexer.kind = Lexer.Ident "let"; _ } : Lexer.token)
+          :: { Lexer.kind = Lexer.Ident "rec"; _ }
+          :: { Lexer.kind = Lexer.Ident name; line; _ } :: rest
+          when name = "gcd" || List.mem name gcd_variants ->
+          { line;
+            message =
+              Printf.sprintf "hand-rolled GCD loop `let rec %s`" name }
+          :: run rest
+        | _ :: rest -> run rest
+        | [] -> []
+      in
+      run (code ctx)
+    in
+    variant_calls @ handrolled
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Catalogue                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -578,6 +631,18 @@ let all =
         "query Fingerprint.Attribution (or a Pipeline derived view), or \
          register a new Pass in Fingerprint.Registry";
       check = fingerprint_outside_registry };
+    { id = "gcd-outside-nat";
+      severity = Warning;
+      doc =
+        "direct calls to gcd_euclid/gcd_binary/gcd_lehmer — or \
+         hand-rolled `let rec gcd` loops — outside lib/bignum pin a \
+         caller to one kernel and bypass the size-dispatched Lehmer \
+         path and its WEAKKEYS_HGCD_THRESHOLD knob";
+      hint =
+        "call Nat.gcd and let the dispatcher pick the kernel (the \
+         variants stay exported for bench/ ablations and test/ \
+         equivalence suites)";
+      check = gcd_outside_nat };
   ]
 
 (* ------------------------------------------------------------------ *)

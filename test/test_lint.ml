@@ -23,7 +23,7 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "fourteen lexical rules" 14 (List.length R.all);
+  Alcotest.(check int) "fifteen lexical rules" 15 (List.length R.all);
   Alcotest.(check int) "four deep analyses" 4 (List.length R.deep);
   let ids = List.map (fun (r : R.t) -> r.R.id) (R.all @ R.deep) in
   Alcotest.(check int) "ids unique"
@@ -225,6 +225,34 @@ let test_fingerprint_outside_registry () =
   check_clean "tests exercise techniques directly" rule
     ~path:"test/test_export.ml"
     "let ds = Fingerprint.Rimon.detect ~min_ips:5 scans"
+
+let test_gcd_outside_nat () =
+  let rule = "gcd-outside-nat" in
+  let path = "lib/batchgcd/batch_gcd.ml" in
+  check_flagged "qualified variant call" rule ~path
+    "let g = Nat.gcd_binary m z";
+  check_flagged "fully qualified variant call" rule ~path
+    "let g = Bignum.Nat.gcd_euclid m z";
+  check_flagged "unqualified inside an opened module" rule ~path
+    "let g = gcd_lehmer m z";
+  check_flagged "hand-rolled Euclid loop" rule ~path
+    "let rec gcd a b = if N.is_zero b then a else gcd b (N.rem a b)";
+  check_flagged "binaries are in scope" rule ~path:"bin/weakkeys_cli.ml"
+    "let g = Nat.gcd_euclid m z";
+  check_clean "dispatcher call is the sanctioned path" rule ~path
+    "let g = Nat.gcd m z";
+  check_clean "non-rec alias of the dispatcher" rule ~path
+    "let gcd = N.gcd";
+  check_clean "gcd-prefixed identifiers are not kernels" rule
+    ~path:"lib/core/pipeline.ml"
+    "let gcd_findings = function Some g -> g.findings | None -> []";
+  check_clean "kernel implementations are exempt" rule
+    ~path:"lib/bignum/nat.ml"
+    "let gcd a b = if small b then gcd_binary a b else gcd_lehmer a b";
+  check_clean "ablation bench is exempt" rule ~path:"bench/main.ml"
+    "let r = N.gcd_euclid a b";
+  check_clean "equivalence tests are exempt" rule ~path:"test/test_nat.ml"
+    "let bin = N.gcd_binary a b"
 
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
@@ -557,6 +585,7 @@ let tests =
     Alcotest.test_case "boxed-limb-array" `Quick test_boxed_limb_array;
     Alcotest.test_case "fingerprint-outside-registry" `Quick
       test_fingerprint_outside_registry;
+    Alcotest.test_case "gcd-outside-nat" `Quick test_gcd_outside_nat;
     Alcotest.test_case "suppressions" `Quick test_suppressions;
     Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
     Alcotest.test_case "layering" `Quick test_layering;

@@ -189,25 +189,32 @@ let props =
    thresholds for the duration of a test. Every knob not passed is
    pinned so each test exercises exactly the ladder rung it names. *)
 let with_kernels ?(kara = !N.karatsuba_threshold) ?(toom = max_int)
-    ?(bz = !N.burnikel_ziegler_threshold) ?(recip = !N.recip_threshold)
-    ?(barrett = !N.barrett_threshold) f =
+    ?(ntt = max_int) ?(bz = !N.burnikel_ziegler_threshold)
+    ?(recip = !N.recip_threshold) ?(barrett = !N.barrett_threshold)
+    ?(hgcd = !N.hgcd_threshold) f =
   let k0 = !N.karatsuba_threshold
   and t0 = !N.toom3_threshold
+  and n0 = !N.ntt_threshold
   and b0 = !N.burnikel_ziegler_threshold
   and r0 = !N.recip_threshold
-  and ba0 = !N.barrett_threshold in
+  and ba0 = !N.barrett_threshold
+  and h0 = !N.hgcd_threshold in
   N.karatsuba_threshold := kara;
   N.toom3_threshold := toom;
+  N.ntt_threshold := ntt;
   N.burnikel_ziegler_threshold := bz;
   N.recip_threshold := recip;
   N.barrett_threshold := barrett;
+  N.hgcd_threshold := hgcd;
   Fun.protect
     ~finally:(fun () ->
       N.karatsuba_threshold := k0;
       N.toom3_threshold := t0;
+      N.ntt_threshold := n0;
       N.burnikel_ziegler_threshold := b0;
       N.recip_threshold := r0;
-      N.barrett_threshold := ba0)
+      N.barrett_threshold := ba0;
+      N.hgcd_threshold := h0)
     f
 
 let with_thresholds km bz f = with_kernels ~kara:km ~bz f
@@ -280,6 +287,128 @@ let test_toom3_default_boundary () =
       let kara = with_kernels (fun () -> N.mul a b) in
       Alcotest.check nat "default ladder = karatsuba-only" kara def)
     [ 2940; 2976; 3007; 6200 ]
+
+(* Cross-kernel GCD equivalence: the Lehmer/half-GCD dispatch, the
+   binary loop and pure Euclid must agree pairwise on 10k random pairs
+   whose sizes straddle the hgcd threshold, plus the structured edge
+   shapes (equal, zero, one-limb, shared factor, powers of two). The
+   hgcd threshold is dropped to 1 so even small pairs exercise the
+   Lehmer rounds. *)
+let test_hgcd_equivalence () =
+  let gen = mk_gen 37 in
+  let st = Random.State.make [| 41 |] in
+  let check_triple tag a b =
+    let h = with_kernels ~hgcd:1 (fun () -> N.gcd a b) in
+    let bin = N.gcd_binary a b in
+    if not (N.equal h bin) then
+      Alcotest.failf "%s: hgcd <> binary (a=%s b=%s)" tag (N.to_hex a)
+        (N.to_hex b);
+    if not (N.equal h (N.gcd_euclid a b)) then
+      Alcotest.failf "%s: hgcd <> euclid (a=%s b=%s)" tag (N.to_hex a)
+        (N.to_hex b)
+  in
+  for i = 1 to 10_000 do
+    (* Sizes from one bit to ~700 bits: the default threshold is 8
+       limbs = 248 bits, so both sides of the dispatch get hit even
+       before the ~hgcd:1 override. *)
+    let bits () = 1 + Random.State.int st 700 in
+    let a = N.random_bits gen (bits ()) and b = N.random_bits gen (bits ()) in
+    let a, b =
+      match i mod 10 with
+      | 0 -> (a, a) (* equal *)
+      | 1 -> (a, N.zero)
+      | 2 -> (N.zero, b)
+      | 3 -> (a, N.of_int (1 + Random.State.int st 100)) (* one-limb *)
+      | 4 ->
+        (* planted shared factor: the batch-GCD leaf shape *)
+        let f = N.add (N.random_bits gen 120) N.one in
+        (N.mul a f, N.mul b f)
+      | 5 ->
+        (* shared power of two, stressing the common-shift bookkeeping *)
+        let k = Random.State.int st 80 in
+        (N.shift_left a k, N.shift_left b k)
+      | 6 -> (N.mul a b, b) (* exact multiple: gcd = b *)
+      | _ -> (a, b)
+    in
+    check_triple (Printf.sprintf "pair %d" i) a b
+  done;
+  (* A few large pairs so several Lehmer rounds run back to back. *)
+  for i = 1 to 10 do
+    let a = N.random_bits gen 6000 and b = N.random_bits gen 6000 in
+    check_triple (Printf.sprintf "large %d" i) a b
+  done
+
+(* The default dispatch (threshold 8) against binary on
+   batch-GCD-shaped inputs: modulus x (z below modulus^2). *)
+let test_hgcd_default_dispatch () =
+  let gen = mk_gen 43 in
+  for _ = 1 to 50 do
+    let m = N.add (N.random_bits gen 2048) N.one in
+    let z = N.rem (N.random_bits gen 4096) (N.sqr m) in
+    Alcotest.check nat "default gcd = binary" (N.gcd_binary m z) (N.gcd m z)
+  done
+
+(* NTT against Toom-3, Karatsuba and schoolbook on sizes bracketing
+   every threshold, including all-ones operands (maximal convolution
+   coefficients, the worst case for the CRT carry chain), unbalanced
+   shapes that must fall back, and aliased squaring. *)
+let test_ntt_vs_toom3 () =
+  let gen = mk_gen 47 in
+  List.iter
+    (fun (abits, bbits) ->
+      let a = N.random_bits gen abits and b = N.random_bits gen bbits in
+      let school = with_kernels ~kara:max_int (fun () -> N.mul a b) in
+      let kara = with_kernels ~kara:4 (fun () -> N.mul a b) in
+      let toom = with_kernels ~kara:4 ~toom:8 (fun () -> N.mul a b) in
+      let ntt = with_kernels ~kara:4 ~ntt:8 (fun () -> N.mul a b) in
+      Alcotest.check nat "karatsuba = schoolbook" school kara;
+      Alcotest.check nat "toom3 = schoolbook" school toom;
+      Alcotest.check nat "ntt = schoolbook" school ntt;
+      let sq_school = with_kernels ~kara:max_int (fun () -> N.sqr a) in
+      let sq_ntt = with_kernels ~kara:4 ~ntt:8 (fun () -> N.sqr a) in
+      Alcotest.check nat "sqr ntt = schoolbook" sq_school sq_ntt;
+      let mul_self = with_kernels ~kara:4 ~ntt:8 (fun () -> N.mul a a) in
+      Alcotest.check nat "sqr = mul a a (aliased)" sq_ntt mul_self)
+    [
+      (200, 200); (247, 247); (248, 248); (249, 230); (300, 160);
+      (4000, 3500); (6000, 1000); (5000, 5000); (5000, 0); (5000, 2600);
+      (* one piece, piece boundaries, transform-size power-of-two edges *)
+      (14, 14); (15, 15); (16, 16); (960, 960); (961, 961);
+    ];
+  (* all-ones operands: every 15-bit piece is 2^15 - 1, so convolution
+     coefficients and the carry chain peak *)
+  List.iter
+    (fun bits ->
+      let a = N.sub (N.shift_left N.one bits) N.one in
+      let toom = with_kernels ~kara:4 ~toom:8 (fun () -> N.mul a a) in
+      let ntt = with_kernels ~kara:4 ~ntt:8 (fun () -> N.mul a a) in
+      Alcotest.check nat "all-ones ntt = toom3" toom ntt;
+      Alcotest.check nat "all-ones sqr"
+        (with_kernels ~kara:4 ~toom:8 (fun () -> N.sqr a))
+        (with_kernels ~kara:4 ~ntt:8 (fun () -> N.sqr a)))
+    [ 496; 4096; 7688 ]
+
+(* Around the default 2048-limb boundary with production thresholds:
+   63488 bits is exactly 2048 limbs. Toom-3 alone vs the full ladder
+   with the NTT rung live. *)
+let test_ntt_default_boundary () =
+  let gen = mk_gen 53 in
+  List.iter
+    (fun bits ->
+      let a = N.random_bits gen bits and b = N.random_bits gen bits in
+      let toom =
+        with_kernels ~toom:!N.toom3_threshold (fun () -> N.mul a b)
+      in
+      let ladder =
+        with_kernels ~toom:!N.toom3_threshold ~ntt:!N.ntt_threshold (fun () ->
+            N.mul a b)
+      in
+      Alcotest.check nat "default ladder = toom3-only" toom ladder;
+      Alcotest.check nat "sqr default ladder = toom3-only"
+        (with_kernels ~toom:!N.toom3_threshold (fun () -> N.sqr a))
+        (with_kernels ~toom:!N.toom3_threshold ~ntt:!N.ntt_threshold
+           (fun () -> N.sqr a)))
+    [ 63300; 63488; 63700; 127000 ]
 
 let test_recip_bounds () =
   let gen = mk_gen 17 in
@@ -375,6 +504,10 @@ let tests =
     Alcotest.test_case "karatsuba vs schoolbook" `Slow test_karatsuba_vs_schoolbook;
     Alcotest.test_case "toom3 vs karatsuba/schoolbook" `Slow test_toom3_vs_karatsuba;
     Alcotest.test_case "toom3 default boundary" `Slow test_toom3_default_boundary;
+    Alcotest.test_case "hgcd vs binary vs euclid" `Slow test_hgcd_equivalence;
+    Alcotest.test_case "hgcd default dispatch" `Quick test_hgcd_default_dispatch;
+    Alcotest.test_case "ntt vs toom3/karatsuba/schoolbook" `Slow test_ntt_vs_toom3;
+    Alcotest.test_case "ntt default boundary" `Slow test_ntt_default_boundary;
     Alcotest.test_case "burnikel-ziegler vs knuth" `Slow test_bz_vs_knuth;
     Alcotest.test_case "division edge shapes" `Quick test_bz_balanced_and_edge_shapes;
     Alcotest.test_case "recip bounds" `Quick test_recip_bounds;
