@@ -97,6 +97,33 @@ let () =
   check "factor_subsets = factor_batch" (BG.findings_equal fb_s fs_p);
   check "planted factors recovered" (List.length fb_s >= 8);
 
+  (* Backend registry probe: a corpus with one freshly planted shared
+     prime; every registered backend (tree, ksubset, all-to-all) must
+     surface that exact divisor and agree with the flat reference bit
+     for bit. *)
+  let module Bk = Batchgcd.Backend in
+  let planted_p = Bignum.Prime.generate ~gen ~bits:48 in
+  let planted_corpus =
+    Array.append
+      (Array.init 2 (fun _ ->
+           N.mul planted_p (Bignum.Prime.generate ~gen ~bits:48)))
+      (corpus ~n:30 ~planted:0)
+  in
+  let reference = BG.factor_batch ~pool:seq planted_corpus in
+  check "planted prime is the reference divisor"
+    (List.exists (fun f -> N.equal f.BG.divisor planted_p) reference);
+  List.iter
+    (fun (b : Bk.t) ->
+      let fs, dt = timed (fun () -> Bk.factor b ~pool:par planted_corpus) in
+      row (Printf.sprintf "backend-%s-32" b.Bk.name) dt;
+      check
+        (Printf.sprintf "backend %s recovers the planted factor" b.Bk.name)
+        (List.exists (fun f -> N.equal f.BG.divisor planted_p) fs);
+      check
+        (Printf.sprintf "backend %s findings = flat reference" b.Bk.name)
+        (BG.findings_equal reference fs))
+    Bk.builtin;
+
   (* findings_equal between the old (PR 2) kernel configuration and
      the full new dispatch ladder, on the identical corpus. *)
   let k0 = !N.karatsuba_threshold

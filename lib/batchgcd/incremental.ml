@@ -41,14 +41,112 @@ let corpus t =
 let total_limbs t =
   Array.fold_left (fun acc (_, tree) -> acc + PT.total_limbs tree) 0 t.segments
 
-let create ?pool ?domains ?(k = 1) moduli =
-  let segments, findings = BG.factor_subsets_trees ?pool ?domains ~k moduli in
-  { total = Array.length moduli; segments; findings }
+let create ?pool ?domains ?backend ?(k = 1) moduli =
+  (* Validate the name through the registry, then seed the forest with
+     that decomposition: ksubset keeps its k contiguous subset trees,
+     tree is the k = 1 degenerate case, all_to_all sweeps one tree by
+     node-pair pruning. Findings are equal whichever ran. *)
+  let backend =
+    match backend with
+    | None -> Backend.ksubset.Backend.name
+    | Some name -> (Backend.get name).Backend.name
+  in
+  if String.equal backend Backend.all_to_all.Backend.name then begin
+    if Array.length moduli = 0 then
+      { total = 0; segments = [||]; findings = [] }
+    else begin
+      let pool =
+        match pool with Some p -> p | None -> Pool.get ?domains ()
+      in
+      let tree = PT.build ~pool moduli in
+      {
+        total = Array.length moduli;
+        segments = [| (0, tree) |];
+        findings = All_to_all.factor_tree ~pool tree;
+      }
+    end
+  end
+  else begin
+    let k = if String.equal backend Backend.tree.Backend.name then 1 else k in
+    let segments, findings = BG.factor_subsets_trees ?pool ?domains ~k moduli in
+    { total = Array.length moduli; segments; findings }
+  end
 
-let extend ?pool ?domains t fresh =
+(* The all-to-all delta strategy: one gcd of segment root vs delta
+   root prunes an entire untouched segment, and surviving pairs
+   recurse to exact pairwise gcds — no remainder descents. The merge
+   below folds those gcds into the cached divisors through the same
+   gcd-product lemma the tree strategy leans on, so both strategies
+   land on identical findings. *)
+let extend_all_to_all ~pool t fresh =
   let nf = Array.length fresh in
+  let tn = PT.build ~pool fresh in
+  let nseg = Array.length t.segments in
+  (* Jobs: the delta against every old segment, plus the delta's own
+     pairwise sweep. Each returns pure hit lists; merging is serial. *)
+  let job i =
+    if i < nseg then All_to_all.cross_hits ~pool (snd t.segments.(i)) tn
+    else All_to_all.pairwise_hits ~pool tn
+  in
+  let pieces = Pool.map ~pool job (Array.init (nseg + 1) (fun i -> i)) in
+  let prior = Array.make t.total N.one in
+  List.iter (fun f -> prior.(f.BG.index) <- f.BG.divisor) t.findings;
+  let acc_old = Array.make t.total N.one in
+  let acc_new = Array.make nf N.one in
+  let mul_into acc i m g = acc.(i) <- N.rem (N.mul acc.(i) (N.rem g m)) m in
+  Array.iteri
+    (fun i hits ->
+      if i < nseg then begin
+        let off, tree = t.segments.(i) in
+        let leaves = PT.leaves tree in
+        List.iter
+          (fun (l, j, g) ->
+            mul_into acc_old (off + l) leaves.(l) g;
+            mul_into acc_new j fresh.(j) g)
+          hits
+      end
+      else
+        List.iter
+          (fun (l, j, g) ->
+            mul_into acc_new l fresh.(l) g;
+            mul_into acc_new j fresh.(j) g)
+          hits)
+    pieces;
+  let divisors = Array.make (t.total + nf) N.one in
+  Array.iter
+    (fun (off, tree) ->
+      Array.iteri
+        (fun l m ->
+          divisors.(off + l) <-
+            N.gcd m (N.rem (N.mul prior.(off + l) acc_old.(off + l)) m))
+        (PT.leaves tree))
+    t.segments;
+  Array.iteri (fun l n -> divisors.(t.total + l) <- N.gcd n acc_new.(l)) fresh;
+  let segments = Array.append t.segments [| (t.total, tn) |] in
+  let t' = { total = t.total + nf; segments; findings = [] } in
+  { t' with findings = BG.collect divisors (corpus t') }
+
+let extend ?pool ?domains ?backend t fresh =
+  let nf = Array.length fresh in
+  let backend =
+    match backend with
+    | None -> Backend.tree.Backend.name
+    | Some name ->
+      let b = Backend.get name in
+      if not b.Backend.caps.Backend.incremental then
+        invalid_arg
+          (Printf.sprintf
+             "Batchgcd.Incremental.extend: `%s` is not a delta strategy" name);
+      b.Backend.name
+  in
   if nf = 0 then t
-  else if t.total = 0 then create ?pool ?domains ~k:1 fresh
+  else if t.total = 0 then create ?pool ?domains ~backend ~k:1 fresh
+  else if String.equal backend Backend.all_to_all.Backend.name then begin
+    let pool =
+      match pool with Some p -> p | None -> Pool.get ?domains ()
+    in
+    extend_all_to_all ~pool t fresh
+  end
   else begin
     let pool =
       match pool with Some p -> p | None -> Pool.get ?domains ()

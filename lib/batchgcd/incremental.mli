@@ -35,20 +35,40 @@ type t
 val create :
   ?pool:Parallel.Pool.t ->
   ?domains:int ->
+  ?backend:string ->
   ?k:int ->
   Bignum.Nat.t array ->
   t
-(** Initial run via {!Batch_gcd.factor_subsets_trees}; the [k]
-    (default 1) subset trees seed the segment forest. *)
+(** Initial run. [backend] names the {!Backend} decomposition that
+    seeds the forest: ["ksubset"] (the default) runs
+    {!Batch_gcd.factor_subsets_trees} with [k] (default 1) subset
+    trees, ["tree"] is its [k = 1] case, ["all_to_all"] sweeps a
+    single tree by {!All_to_all} node-pair pruning. Findings are
+    identical whichever seeded.
+    @raise Backend.Unknown_backend on an unknown name. *)
 
-val extend : ?pool:Parallel.Pool.t -> ?domains:int -> t -> Bignum.Nat.t array -> t
-(** [extend t fresh] folds a batch of new moduli into the corpus:
-    builds one product tree over [fresh], reduces its root through
-    every cached segment tree (old-vs-new), every segment root through
-    the fresh tree (new-vs-old) and the fresh root mod-square through
-    the fresh tree (new-vs-new), then merges divisors with the cached
-    findings. No old tree is rebuilt. The input is returned unchanged
-    when [fresh] is empty. *)
+val extend :
+  ?pool:Parallel.Pool.t ->
+  ?domains:int ->
+  ?backend:string ->
+  t ->
+  Bignum.Nat.t array ->
+  t
+(** [extend t fresh] folds a batch of new moduli into the corpus.
+    The default ["tree"] strategy builds one product tree over
+    [fresh], reduces its root through every cached segment tree
+    (old-vs-new), every segment root through the fresh tree
+    (new-vs-old) and the fresh root mod-square through the fresh tree
+    (new-vs-new), then merges divisors with the cached findings. The
+    ["all_to_all"] strategy instead prunes segment-vs-delta node
+    pairs by gcd ({!All_to_all.cross_hits}) — one root gcd discharges
+    an entire untouched segment, the shape that wins on small deltas
+    against big corpora. Either way no old tree is rebuilt, findings
+    equal a full recompute, and the input is returned unchanged when
+    [fresh] is empty.
+    @raise Backend.Unknown_backend on an unknown name.
+    @raise Invalid_argument on a backend without the incremental
+    capability (["ksubset"]). *)
 
 val factor_delta :
   ?pool:Parallel.Pool.t ->

@@ -250,8 +250,22 @@ let finish sctx ?pool ?only_passes ~checkpointed world scans monthly
     timings = Stage.timings sctx;
   }
 
-let of_scans ?progress ?(k = 16) ?shards ?domains ?checkpoint_dir ?only_passes
-    world scans =
+(* The backend name is part of the checkpoint identity: artifacts are
+   findings-equal across backends, but the cached forest shape is not,
+   and a key must never restore a different shape than the caller
+   asked for. The default (no [backend]) keeps the historical tags so
+   existing checkpoints stay restorable. *)
+let backend_tag = function
+  | None -> ""
+  | Some name -> "/backend=" ^ name
+
+let check_backend = function
+  | None -> ()
+  | Some name -> ignore (Batchgcd.Backend.get name : Batchgcd.Backend.t)
+
+let of_scans ?progress ?(k = 16) ?shards ?domains ?backend ?checkpoint_dir
+    ?only_passes world scans =
+  check_backend backend;
   let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
   let say = match progress with Some f -> f | None -> fun _ -> () in
   let monthly, protocol_snapshots =
@@ -272,12 +286,17 @@ let of_scans ?progress ?(k = 16) ?shards ?domains ?checkpoint_dir ?only_passes
     match shards with
     | None ->
       say
-        (Printf.sprintf "batch GCD over %d distinct moduli (k=%d, %d domains)"
-           (Array.length corpus) k (Parallel.Pool.size pool));
+        (Printf.sprintf
+           "batch GCD over %d distinct moduli (k=%d%s, %d domains)"
+           (Array.length corpus) k
+           (match backend with None -> "" | Some b -> ", backend=" ^ b)
+           (Parallel.Pool.size pool));
       Stage.run_cached sctx "batchgcd"
-        ~key:(corpus_key corpus (Printf.sprintf "/k=%d" k))
+        ~key:
+          (corpus_key corpus
+             (Printf.sprintf "/k=%d%s" k (backend_tag backend)))
         ~save:save_gcd ~load:load_gcd
-        (fun () -> Flat (Inc.create ~pool ~k corpus))
+        (fun () -> Flat (Inc.create ~pool ?backend ~k corpus))
     | Some shards ->
       let stride = stride_for ~shards (Array.length corpus) in
       say
@@ -285,26 +304,32 @@ let of_scans ?progress ?(k = 16) ?shards ?domains ?checkpoint_dir ?only_passes
            "sharded batch GCD over %d distinct moduli (stride=%d, %d domains)"
            (Array.length corpus) stride (Parallel.Pool.size pool));
       Stage.run_cached sctx "batchgcd"
-        ~key:(corpus_key corpus (Printf.sprintf "/stride=%d" stride))
+        ~key:
+          (corpus_key corpus
+             (Printf.sprintf "/stride=%d%s" stride (backend_tag backend)))
         ~save:save_gcd ~load:load_gcd
-        (fun () -> Sharded (Sh.create ~pool ~stride corpus))
+        (fun () -> Sharded (Sh.create ~pool ?backend ~stride corpus))
   in
   say (Printf.sprintf "%d moduli factored" (List.length (gcd_findings gcd)));
   finish sctx ~pool ?only_passes
     ~checkpointed:(checkpoint_dir <> None)
     world scans monthly protocol_snapshots https_moduli store corpus gcd
 
-let of_world ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes world =
+let of_world ?progress ?k ?shards ?domains ?backend ?checkpoint_dir
+    ?only_passes world =
   (match progress with Some f -> f "running scan campaigns" | None -> ());
   let scans = Sc.run_all world in
-  of_scans ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes world
-    scans
+  of_scans ?progress ?k ?shards ?domains ?backend ?checkpoint_dir ?only_passes
+    world scans
 
-let run ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes config =
+let run ?progress ?k ?shards ?domains ?backend ?checkpoint_dir ?only_passes
+    config =
   let world = Netsim.World.build ?progress config in
-  of_world ?progress ?k ?shards ?domains ?checkpoint_dir ?only_passes world
+  of_world ?progress ?k ?shards ?domains ?backend ?checkpoint_dir ?only_passes
+    world
 
-let extend ?progress ?domains ?checkpoint_dir ?only_passes t new_scans =
+let extend ?progress ?domains ?backend ?checkpoint_dir ?only_passes t new_scans =
+  check_backend backend;
   let sctx = Stage.ctx ?progress ?dir:checkpoint_dir () in
   let scans, monthly =
     Stage.run sctx "scan" (fun () ->
@@ -337,15 +362,16 @@ let extend ?progress ?domains ?checkpoint_dir ?only_passes t new_scans =
     Stage.run_cached sctx "batchgcd"
       ~key:
         (corpus_key corpus
-           (match t.gcd with
-           | Flat _ -> "/extend"
-           | Sharded sh ->
-             Printf.sprintf "/extend/stride=%d" (Sh.stride sh)))
+           ((match t.gcd with
+            | Flat _ -> "/extend"
+            | Sharded sh ->
+              Printf.sprintf "/extend/stride=%d" (Sh.stride sh))
+           ^ backend_tag backend))
       ~save:save_gcd ~load:load_gcd
       (fun () ->
         match t.gcd with
-        | Flat inc -> Flat (Inc.extend ~pool inc fresh)
-        | Sharded sh -> Sharded (Sh.extend ~pool sh fresh))
+        | Flat inc -> Flat (Inc.extend ~pool ?backend inc fresh)
+        | Sharded sh -> Sharded (Sh.extend ~pool ?backend sh fresh))
   in
   finish sctx ~pool ?only_passes
     ~checkpointed:(checkpoint_dir <> None)

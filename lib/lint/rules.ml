@@ -522,6 +522,39 @@ let gcd_outside_nat ctx =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Rule 16: batch-GCD sweeps go through the Backend registry            *)
+(* ------------------------------------------------------------------ *)
+
+(* [Batchgcd.Backend] is the one place that knows which decomposition
+   (tree / ksubset / all_to_all) fits a workload; calling
+   [factor_batch]/[factor_subsets] directly from product code pins one
+   decomposition and sidesteps the WEAKKEYS_BACKEND override and the
+   size-threshold policy. lib/batchgcd itself implements the backends,
+   and bench/ and test/ deliberately pin decompositions for shootouts
+   and cross-backend equality suites. *)
+let batchgcd_entry_points =
+  [ "factor_batch"; "factor_subsets"; "factor_subsets_trees" ]
+
+let batchgcd_outside_backend ctx =
+  if in_dir "lib/batchgcd" ctx.path || in_dir "bench" ctx.path
+     || in_dir "test" ctx.path
+  then []
+  else
+    flag_idents
+      (fun s ->
+        let s = strip_stdlib s in
+        let s =
+          match String.rindex_opt s '.' with
+          | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+          | None -> s
+        in
+        List.mem s batchgcd_entry_points)
+      (fun s ->
+        Printf.sprintf
+          "batch-GCD entry point `%s` called outside the Backend registry" s)
+      ctx
+
+(* ------------------------------------------------------------------ *)
 (* Catalogue                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -643,6 +676,18 @@ let all =
          variants stay exported for bench/ ablations and test/ \
          equivalence suites)";
       check = gcd_outside_nat };
+    { id = "batchgcd-outside-backend";
+      severity = Warning;
+      doc =
+        "direct calls to factor_batch/factor_subsets outside \
+         lib/batchgcd pin one sweep decomposition and bypass the \
+         Backend registry's WEAKKEYS_BACKEND override and \
+         size-threshold selection";
+      hint =
+        "resolve a backend with Batchgcd.Backend.get (or select) and \
+         call Backend.factor (bench/ shootouts and test/ equality \
+         suites stay exempt)";
+      check = batchgcd_outside_backend };
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -590,6 +590,148 @@ let test_io_rejects_oversized_length () =
       header
   done
 
+(* ---------------- Backend registry ---------------- *)
+
+module Bk = Batchgcd.Backend
+module A2A = Batchgcd.All_to_all
+
+let test_backend_registry () =
+  Alcotest.(check (list string))
+    "builtin names"
+    [ "tree"; "ksubset"; "all_to_all" ]
+    (Bk.names ());
+  Alcotest.(check bool) "find known" true (Bk.find "all_to_all" <> None);
+  Alcotest.(check bool) "find unknown" true (Bk.find "nope" = None);
+  Alcotest.(check bool) "get unknown raises" true
+    (try
+       ignore (Bk.get "nope");
+       false
+     with Bk.Unknown_backend "nope" -> true);
+  Alcotest.(check bool) "tree is incremental and sharded" true
+    (Bk.tree.Bk.caps.Bk.incremental && Bk.tree.Bk.caps.Bk.sharded);
+  Alcotest.(check bool) "all_to_all is incremental and sharded" true
+    (Bk.all_to_all.Bk.caps.Bk.incremental && Bk.all_to_all.Bk.caps.Bk.sharded);
+  Alcotest.(check bool) "ksubset is one-shot only" false
+    (Bk.ksubset.Bk.caps.Bk.incremental || Bk.ksubset.Bk.caps.Bk.sharded)
+
+let test_backend_select_policy () =
+  let threshold = Bk.all_to_all_threshold () in
+  Alcotest.(check string) "small work goes all-to-all" "all_to_all"
+    (Bk.select ~purpose:`Delta ~n:threshold ()).Bk.name;
+  Alcotest.(check string) "bulk work goes tree" "tree"
+    (Bk.select ~purpose:`Shard ~n:(threshold + 1) ()).Bk.name;
+  Alcotest.(check string) "explicit override beats the heuristic" "tree"
+    (Bk.select ~override:"tree" ~purpose:`Delta ~n:1 ()).Bk.name;
+  Alcotest.(check bool) "incapable override rejected" true
+    (try
+       ignore (Bk.select ~override:"ksubset" ~purpose:`Delta ~n:1 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown override raises Unknown_backend" true
+    (try
+       ignore (Bk.select ~override:"nope" ~purpose:`Shard ~n:1 ());
+       false
+     with Bk.Unknown_backend "nope" -> true)
+
+(* Every registered backend must land on identical findings — same
+   indexes, same divisors — across seeds and corpus sizes bracketing
+   the all-to-all selection threshold (default 48). *)
+let test_backends_findings_equal () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (n_clean, n_shared) ->
+          let moduli, _ = corpus ~bits:64 ~seed ~n_clean ~n_shared () in
+          let reference = BG.factor_batch moduli in
+          List.iter
+            (fun b ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s = reference (seed %d, %d moduli)" b.Bk.name
+                   seed (Array.length moduli))
+                true
+                (BG.findings_equal reference (Bk.factor b moduli)))
+            Bk.builtin)
+        [ (16, 8); (32, 16); (64, 32) ])
+    [ 11; 23; 37 ]
+
+(* The pruned node-pair recursion must surface exactly the coprime-
+   filtered pair set of the O(n^2) sweep, with bit-identical gcds. *)
+let test_all_to_all_pairwise_hits () =
+  let moduli, _ = corpus ~seed:29 ~n_clean:6 ~n_shared:4 () in
+  let sort = List.sort (fun (a, b, _) (c, d, _) -> compare (a, b) (c, d)) in
+  let naive = sort (BG.naive_pairwise_hits moduli) in
+  let hits = sort (A2A.pairwise_hits (PT.build moduli)) in
+  Alcotest.(check int) "same pair count" (List.length naive) (List.length hits);
+  List.iter2
+    (fun (i, j, g) (i', j', g') ->
+      Alcotest.(check (pair int int)) "same pair" (i, j) (i', j');
+      Alcotest.check nat "same gcd" g g')
+    naive hits;
+  Alcotest.(check (list (triple int int nat))) "empty cross on coprime trees"
+    []
+    (let clean, _ = corpus ~seed:31 ~n_clean:4 ~n_shared:0 () in
+     A2A.cross_hits (PT.build (Array.sub clean 0 2)) (PT.build (Array.sub clean 2 2)))
+
+(* Incremental deltas through either capable strategy agree with a
+   from-scratch recompute; the one-shot ksubset strategy is refused. *)
+let test_incremental_backend_extend () =
+  let moduli, _ = corpus ~seed:43 ~n_clean:12 ~n_shared:6 () in
+  let base = Array.sub moduli 0 10 in
+  let delta = Array.sub moduli 10 (Array.length moduli - 10) in
+  let full = BG.factor_batch moduli in
+  List.iter
+    (fun backend ->
+      let t = Inc.create ~backend base in
+      let t = Inc.extend ~backend t delta in
+      Alcotest.(check bool)
+        (Printf.sprintf "create+extend via %s = recompute" backend)
+        true
+        (BG.findings_equal full (Inc.findings t)))
+    [ "tree"; "all_to_all" ];
+  let t = Inc.create [||] in
+  Alcotest.(check bool) "ksubset delta refused" true
+    (try
+       ignore (Inc.extend ~backend:"ksubset" t moduli);
+       false
+     with Invalid_argument _ -> true)
+
+(* The per-shard selection policy: small shards drop to all-to-all,
+   explicit and per-shard overrides win, and findings never depend on
+   which backend ran. *)
+let test_sharded_backend_policy () =
+  let moduli, _ = corpus ~seed:47 ~n_clean:10 ~n_shared:5 () in
+  let full = BG.factor_batch moduli in
+  let t = Sh.create ~stride:4 moduli in
+  Alcotest.(check (list (pair string int)))
+    "small shards all pick all_to_all"
+    [ ("all_to_all", Sh.shard_count t) ]
+    (Sh.backend_uses t);
+  Alcotest.(check bool) "threshold policy findings = flat" true
+    (BG.findings_equal full (Sh.findings t));
+  let t_tree = Sh.create ~backend:"tree" ~stride:4 moduli in
+  Alcotest.(check (list (pair string int)))
+    "sweep-wide override pins every shard"
+    [ ("tree", Sh.shard_count t_tree) ]
+    (Sh.backend_uses t_tree);
+  Alcotest.(check bool) "override findings = flat" true
+    (BG.findings_equal full (Sh.findings t_tree));
+  let t_mixed =
+    Sh.create
+      ~shard_backend:(fun s -> if s = 0 then Some "tree" else None)
+      ~stride:4 moduli
+  in
+  Alcotest.(check (list (pair string int)))
+    "per-shard override beats the heuristic"
+    [ ("all_to_all", Sh.shard_count t_mixed - 1); ("tree", 1) ]
+    (Sh.backend_uses t_mixed);
+  Alcotest.(check bool) "mixed policy findings = flat" true
+    (BG.findings_equal full (Sh.findings t_mixed));
+  Alcotest.(check bool) "ksubset refused as shard strategy" true
+    (try
+       ignore (Sh.create ~backend:"ksubset" ~stride:4 moduli);
+       false
+     with Invalid_argument _ -> true)
+
 (* ---------------- Properties ---------------- *)
 
 let prop_implementations_agree =
@@ -665,6 +807,17 @@ let tests =
       test_sharded_save_load_dir;
     Alcotest.test_case "io rejects oversized length" `Quick
       test_io_rejects_oversized_length;
+    Alcotest.test_case "backend registry" `Quick test_backend_registry;
+    Alcotest.test_case "backend select policy" `Quick
+      test_backend_select_policy;
+    Alcotest.test_case "backends findings equal" `Quick
+      test_backends_findings_equal;
+    Alcotest.test_case "all-to-all pairwise hits" `Quick
+      test_all_to_all_pairwise_hits;
+    Alcotest.test_case "incremental backend extend" `Quick
+      test_incremental_backend_extend;
+    Alcotest.test_case "sharded backend policy" `Quick
+      test_sharded_backend_policy;
     prop_implementations_agree;
     prop_divisor_divides;
   ]

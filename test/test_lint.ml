@@ -23,7 +23,7 @@ let check_clean name rule ?path ?mli_exists src =
 (* ------------------------------------------------------------------ *)
 
 let test_catalogue () =
-  Alcotest.(check int) "fifteen lexical rules" 15 (List.length R.all);
+  Alcotest.(check int) "sixteen lexical rules" 16 (List.length R.all);
   Alcotest.(check int) "four deep analyses" 4 (List.length R.deep);
   let ids = List.map (fun (r : R.t) -> r.R.id) (R.all @ R.deep) in
   Alcotest.(check int) "ids unique"
@@ -253,6 +253,31 @@ let test_gcd_outside_nat () =
     "let r = N.gcd_euclid a b";
   check_clean "equivalence tests are exempt" rule ~path:"test/test_nat.ml"
     "let bin = N.gcd_binary a b"
+
+let test_batchgcd_outside_backend () =
+  let rule = "batchgcd-outside-backend" in
+  check_flagged "qualified entry point in lib/core" rule
+    ~path:"lib/core/pipeline.ml"
+    "let fs = Batchgcd.Batch_gcd.factor_batch ~pool corpus";
+  check_flagged "short-qualified entry point" rule ~path:"lib/core/report.ml"
+    "let fs = BG.factor_subsets ~k:4 sample";
+  check_flagged "binaries are in scope" rule ~path:"bin/weakkeys_cli.ml"
+    "let fs = Batchgcd.Batch_gcd.factor_subsets ~k moduli";
+  check_flagged "forest seeding entry point" rule ~path:"lib/core/pipeline.ml"
+    "let segs, fs = BG.factor_subsets_trees ~pool ~k corpus";
+  check_clean "registry projection is the sanctioned path" rule
+    ~path:"lib/core/pipeline.ml"
+    "let fs = Batchgcd.Backend.factor b ~pool corpus";
+  check_clean "backend implementations are exempt" rule
+    ~path:"lib/batchgcd/backend.ml"
+    "let tree_factor ?pool ?domains ms = BG.factor_batch ?pool ?domains ms";
+  check_clean "shootout bench is exempt" rule ~path:"bench/main.ml"
+    "let fs = Batchgcd.Batch_gcd.factor_batch ~pool corpus";
+  check_clean "equality tests are exempt" rule ~path:"test/test_batchgcd.ml"
+    "let fs = BG.factor_subsets ~k:3 moduli";
+  check_clean "factor-prefixed identifiers are not entry points" rule
+    ~path:"lib/core/pipeline.ml"
+    "let factor_batches = List.length batches"
 
 (* ------------------------------------------------------------------ *)
 (* Suppressions                                                        *)
@@ -586,6 +611,8 @@ let tests =
     Alcotest.test_case "fingerprint-outside-registry" `Quick
       test_fingerprint_outside_registry;
     Alcotest.test_case "gcd-outside-nat" `Quick test_gcd_outside_nat;
+    Alcotest.test_case "batchgcd-outside-backend" `Quick
+      test_batchgcd_outside_backend;
     Alcotest.test_case "suppressions" `Quick test_suppressions;
     Alcotest.test_case "positions-and-output" `Quick test_positions_and_output;
     Alcotest.test_case "layering" `Quick test_layering;
